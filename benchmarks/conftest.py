@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark/figure-regeneration suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Each ``test_bench_*`` file regenerates one table or figure of the paper at
+full scale and prints the rows the paper reports (the ``-s`` flag shows
+them); pytest-benchmark records the wall-clock cost of one full
+regeneration (``rounds=1`` — these are experiments, not microbenchmarks;
+the genuinely micro benchmarks live in ``test_bench_micro.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import default_trace
+
+
+@pytest.fixture(scope="session")
+def paper_trace():
+    """The full-length calibrated game trace (11696 rounds, as the paper)."""
+    return default_trace()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

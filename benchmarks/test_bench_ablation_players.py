@@ -1,0 +1,25 @@
+"""Ablation: player-count scaling (Section 5.2, last paragraph).
+
+"It can be observed that when more players join the game that the message
+rate increases, the share of messages that never become obsolete
+decreases, but the distance between related messages increases."
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import ablation_players
+
+
+def test_bench_ablation_players(benchmark):
+    rows = run_once(
+        benchmark, ablation_players, players=(2, 5, 10, 16), rounds=6000, show=True
+    )
+    rates = [r[1] for r in rows]
+    never = [r[2] for r in rows]
+    dist = [r[3] for r in rows]
+    # Message rate increases with players.
+    assert all(b > a for a, b in zip(rates, rates[1:]))
+    # Never-obsolete share decreases end-to-end.
+    assert never[-1] < never[0]
+    # Obsolescence distance increases end-to-end.
+    assert dist[-1] > dist[0]

@@ -1,0 +1,16 @@
+"""Figure 3(a): frequency of item modifications by rank."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import figure_3a
+
+
+def test_bench_figure_3a(benchmark, paper_trace):
+    rows = run_once(benchmark, figure_3a, paper_trace, top=50, show=True)
+    assert len(rows) == 50
+    by_rank = dict(rows)
+    # Paper's shape: top item in ~22 % of rounds, fast decay, a tail of
+    # rarely- or never-modified items.
+    assert 14.0 <= by_rank[1] <= 30.0
+    assert by_rank[1] > by_rank[5] > by_rank[30]
+    assert by_rank[50] < 1.0

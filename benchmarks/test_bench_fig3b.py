@@ -1,0 +1,15 @@
+"""Figure 3(b): obsolescence distance distribution."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import figure_3b
+
+
+def test_bench_figure_3b(benchmark, paper_trace):
+    rows = run_once(benchmark, figure_3b, paper_trace, max_distance=20, show=True)
+    pct = dict(rows)
+    # Paper's shape: related pairs are close — mass concentrated at small
+    # distances, "often within 10 messages of each other".
+    within_10 = sum(p for d, p in rows if d <= 10)
+    assert within_10 > 60.0
+    assert pct.get(1, 0) + pct.get(2, 0) + pct.get(3, 0) > 30.0

@@ -1,0 +1,23 @@
+"""Figure 4(a): producer idle % vs consumer speed, reliable vs semantic.
+
+Paper anchor points (buffer = 15): the reliable protocol needs ≈73 msg/s
+to keep producer disturbance under 5 %; the semantic protocol stretches
+that down to ≈28 msg/s.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import figure_4a
+
+
+def test_bench_figure_4a(benchmark, paper_trace):
+    rows = run_once(benchmark, figure_4a, paper_trace, buffer_size=15, show=True)
+    by_rate = {rate: (rel, sem) for rate, rel, sem in rows}
+    # Semantic dominates reliable at every rate.
+    for rate, (rel, sem) in by_rate.items():
+        assert sem >= rel - 1e-9, f"semantic worse at {rate} msg/s"
+    # Fast consumers disturb nobody; slow ones crush the reliable protocol
+    # while the semantic one is still ~fully idle (paper's 73 vs 28 gap).
+    assert by_rate[140][0] > 99.0 and by_rate[140][1] > 99.0
+    assert by_rate[30][1] - by_rate[30][0] > 15.0
+    assert by_rate[20][0] < 60.0

@@ -1,0 +1,36 @@
+"""Figure 5(a): minimum tolerable consumer rate vs buffer size.
+
+Paper anchors at buffer 15: reliable 73 msg/s, semantic 28 msg/s, mean
+input ≈ 42 msg/s.  The load-bearing qualitative facts:
+
+* the reliable threshold can never drop below the mean input rate, however
+  large the buffer;
+* the semantic threshold falls *below* the mean input rate once buffers
+  give purging room;
+* for very small buffers SVS is ineffective (related messages cannot
+  co-reside), so the two thresholds converge.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import figure_5a
+
+
+def test_bench_figure_5a(benchmark, paper_trace):
+    rows = run_once(benchmark, figure_5a, paper_trace, show=True)
+    mean_rate = paper_trace.message_rate
+    by_buffer = {b: (rel, sem) for b, rel, sem in rows}
+
+    # Reliable threshold stays above the mean input rate everywhere.
+    for b, (rel, sem) in by_buffer.items():
+        assert rel >= mean_rate * 0.9, f"reliable threshold below mean at B={b}"
+        assert sem <= rel
+    # Semantic drops below the mean input rate with a reasonable buffer.
+    assert by_buffer[16][1] < mean_rate
+    assert by_buffer[28][1] < mean_rate * 0.7
+    # Tiny buffers defeat purging: thresholds within 15 % of each other.
+    rel4, sem4 = by_buffer[4]
+    assert sem4 > rel4 * 0.85
+    # Larger buffers help both protocols monotonically (within noise).
+    assert by_buffer[28][0] <= by_buffer[4][0]
+    assert by_buffer[28][1] <= by_buffer[4][1]

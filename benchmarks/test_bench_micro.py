@@ -1,0 +1,99 @@
+"""Micro-benchmarks of the core data structures.
+
+These quantify the paper's efficiency argument for the k-enumeration
+representation (Section 4.2): annotation and purging reduce to shifts,
+ors and small scans.
+"""
+
+import pytest
+
+from repro.core.buffers import DeliveryQueue
+from repro.core.message import DataMessage, MessageId
+from repro.core.obsolescence import (
+    EnumerationEncoder,
+    ItemTagging,
+    KEnumeration,
+    KEnumerationEncoder,
+)
+from repro.workload.trace import to_data_messages
+
+
+def test_bench_k_enumeration_annotation(benchmark):
+    """Annotating a 10k-message chain with k=64 bitmaps."""
+
+    def annotate():
+        encoder = KEnumerationEncoder(sender=0, k=64)
+        for sn in range(1, 10_000):
+            encoder.annotate(sn, [sn - 1])
+
+    benchmark(annotate)
+
+
+def test_bench_enumeration_annotation(benchmark):
+    """The explicit-enumeration encoder on the same chain (windowed)."""
+
+    def annotate():
+        encoder = EnumerationEncoder(sender=0, window=64)
+        previous = None
+        for _ in range(10_000):
+            mid = encoder.next_mid()
+            encoder.annotate(mid, [previous] if previous else [])
+            previous = mid
+
+    benchmark(annotate)
+
+
+def test_bench_k_relation_query(benchmark):
+    rel = KEnumeration(k=64)
+    new = DataMessage(MessageId(0, 100), 0, annotation=(1 << 64) - 1)
+    old = DataMessage(MessageId(0, 60), 0)
+
+    benchmark(lambda: rel.obsoletes(new, old))
+
+
+def test_bench_queue_try_append_with_purging(benchmark, paper_trace):
+    """The hot path of the throughput model: purge-then-append over the
+    real game trace annotations."""
+    messages, relation = to_data_messages(paper_trace, "k-enumeration", k=30)
+    window = messages[:5_000]
+
+    def pump():
+        queue = DeliveryQueue(relation, capacity=15)
+        for msg in window:
+            if not queue.try_append(msg):
+                queue.pop()
+                queue.try_append(msg)
+
+    benchmark(pump)
+
+
+def test_bench_queue_fifo_ops(benchmark):
+    """Raw append/pop throughput without purging."""
+    from repro.core.obsolescence import EmptyRelation
+
+    msgs = [DataMessage(MessageId(0, sn), 0) for sn in range(2_000)]
+
+    def pump():
+        queue = DeliveryQueue(EmptyRelation())
+        for msg in msgs:
+            queue.append(msg)
+        while queue:
+            queue.pop()
+
+    benchmark(pump)
+
+
+def test_bench_item_tagging_purge(benchmark):
+    """Full pairwise purge of a 200-message buffer (the t7 path)."""
+    msgs = [
+        DataMessage(MessageId(0, sn), 0, annotation=sn % 20)
+        for sn in range(200)
+    ]
+
+    def purge():
+        queue = DeliveryQueue(ItemTagging())
+        for msg in msgs:
+            queue.append(msg)
+        queue.purge()
+
+    benchmark(purge)

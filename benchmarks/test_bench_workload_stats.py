@@ -1,0 +1,16 @@
+"""Section 5.2 in-text workload characterisation (paper vs reproduction)."""
+
+from conftest import run_once
+
+from repro.analysis.experiments import workload_stats
+
+
+def test_bench_workload_stats(benchmark, paper_trace):
+    rows = run_once(benchmark, workload_stats, paper_trace, show=True)
+    measured = {name: value for name, _, value in rows}
+    # The calibration bands double as a regression gate for the numbers
+    # every downstream experiment depends on.
+    assert 36.0 <= measured["messages/s"] <= 50.0          # paper ≈ 42
+    assert 1.1 <= measured["modified items/round"] <= 1.6  # paper 1.39
+    assert 38.0 <= measured["active items"] <= 47.0        # paper 42.33
+    assert 36.0 <= measured["never obsolete (%)"] <= 48.0  # paper 41.88

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: a three-member SVS group in ~60 lines.
+
+Demonstrates the core ideas of Semantic View Synchrony:
+
+1. multicast with an obsolescence annotation (item tags here);
+2. a slow member skipping obsolete messages while fast members see all;
+3. a view change that removes a crashed member — with all survivors
+   agreeing on the view and on the (semantically complete) message set.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GroupStack, ItemTagging, StackConfig, check_all
+from repro.core.message import DataMessage, ViewDelivery
+
+
+def describe(entry):
+    if isinstance(entry, ViewDelivery):
+        return f"[view {entry.view.vid}: members {sorted(entry.view.members)}]"
+    return f"{entry.payload}"
+
+
+def main():
+    # A 4-member group over the simulated network.  ItemTagging relates
+    # messages that update the same item: the newest wins.
+    stack = GroupStack(ItemTagging(), StackConfig(n=4, seed=1))
+
+    # Member 0 publishes a stream of item updates: item 7 is updated three
+    # times, item 8 once.
+    stack[0].multicast("x=1 (item 7, will be obsolete)", annotation=7)
+    stack[0].multicast("y=10 (item 8)", annotation=8)
+
+    # Member 1 consumes immediately — it sees everything.
+    stack.run(until=0.1)
+    print("fast member 1 sees:")
+    for entry in stack[1].drain():
+        print("   ", describe(entry))
+
+    # Two more updates to item 7 arrive while members 2 and 3 are slow:
+    # their queues purge the obsolete versions.
+    stack[0].multicast("x=2 (item 7, will be obsolete)", annotation=7)
+    stack[0].multicast("x=3 (item 7, final)", annotation=7)
+    stack.run(until=0.2)
+    print("\nslow member 2 sees (obsolete x values purged):")
+    for entry in stack[2].drain():
+        print("   ", describe(entry))
+
+    # Member 3 crashes; member 0 notices and reconfigures.  View Synchrony
+    # machinery (PRED exchange + consensus) installs view 1 everywhere.
+    stack.crash(3)
+    stack.run(until=0.5)
+    stack[0].trigger_view_change()
+    stack.run(until=3.0)
+    print(f"\nafter reconfiguration: view {stack[0].cv.vid}, "
+          f"members {sorted(stack[0].cv.members)}")
+
+    # The recorded run satisfies the full executable specification:
+    # Semantic View Synchrony, FIFO semantic reliability, integrity and
+    # view agreement.
+    stack.drain_all()
+    violations = check_all(stack.recorder, stack.relation)
+    print(f"specification violations: {violations or 'none'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation section.
+
+This is the one-shot driver behind EXPERIMENTS.md: it prints, for each of
+the paper's tables/figures plus our ablations, the rows a plotting tool
+would consume.  Expect a few minutes of wall-clock time (the Figure 5
+sweeps bisect threshold rates across seven buffer sizes at full trace
+length).
+
+Run:  python examples/reproduce_figures.py [--fast]
+"""
+
+import sys
+import time
+
+import repro.analysis.experiments as exp
+from repro.workload.game import GameConfig, generate_game_trace
+
+
+def main():
+    fast = "--fast" in sys.argv
+    if fast:
+        trace = generate_game_trace(GameConfig(rounds=2000))
+        buffers = (4, 12, 20, 28)
+        probes = 4
+    else:
+        trace = exp.default_trace()
+        buffers = exp.DEFAULT_BUFFERS
+        probes = 8
+
+    start = time.time()
+    exp.workload_stats(trace, show=True)
+    exp.figure_3a(trace, top=50, show=True)
+    exp.figure_3b(trace, show=True)
+    exp.figure_4a(trace, show=True)
+    exp.figure_4b(trace, show=True)
+    exp.figure_5a(trace, buffers=buffers, show=True)
+    exp.figure_5b(trace, buffers=buffers, probes=probes, show=True)
+    exp.view_change_latency_table(show=True)
+    exp.ablation_k(trace, show=True)
+    exp.ablation_representation(trace, show=True)
+    exp.ablation_players(show=True)
+    print(f"\ntotal wall-clock: {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

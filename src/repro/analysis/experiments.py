@@ -1,0 +1,432 @@
+"""Per-figure experiment harness.
+
+One entry point per table/figure of the paper's evaluation (Section 5).
+Each function returns structured rows and can print them in the shape the
+paper reports, with the paper's own numbers alongside for comparison.
+``EXPERIMENTS.md`` at the repository root records a full run.
+
+All experiments run on the calibrated synthetic game trace (see
+:mod:`repro.workload.game` for the substitution rationale); pass your own
+:class:`~repro.workload.trace.Trace` to reproduce them on other workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.throughput import (
+    ThroughputConfig,
+    perturbation_tolerance,
+    run_slow_receiver,
+    threshold_rate,
+)
+from repro.analysis.viewchange import (
+    ViewChangeLatencyResult,
+    measure_view_change_latency,
+)
+from repro.workload.game import GameConfig, generate_game_trace
+from repro.workload.trace import (
+    Trace,
+    compute_stats,
+    item_rank_profile,
+    obsolescence_distances,
+    to_data_messages,
+)
+
+__all__ = [
+    "default_trace",
+    "workload_stats",
+    "figure_3a",
+    "figure_3b",
+    "figure_4a",
+    "figure_4b",
+    "figure_5a",
+    "figure_5b",
+    "view_change_latency_table",
+    "ablation_k",
+    "ablation_representation",
+    "ablation_players",
+]
+
+_default_trace: Optional[Trace] = None
+
+#: The paper's reported aggregates for the 5-player Quake session.
+PAPER_WORKLOAD = {
+    "rounds": 11696,
+    "message_rate": 42.0,  # ≈ 1.39 items/round × 30 fps
+    "mean_modified_per_round": 1.39,
+    "mean_active_items": 42.33,
+    "never_obsolete_pct": 41.88,
+}
+
+#: Paper data points read off Figure 5 for the comparison columns.
+PAPER_FIG5A = {15: (73, 28)}  # buffer -> (reliable, semantic) threshold
+PAPER_FIG5B = {24: (342.0, 857.0)}  # buffer -> (reliable, semantic) ms
+
+
+def default_trace() -> Trace:
+    """The calibrated 5-player session trace (generated once, cached)."""
+    global _default_trace
+    if _default_trace is None:
+        _default_trace = generate_game_trace(GameConfig())
+    return _default_trace
+
+
+def _print_rows(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    print(f"\n== {title} ==")
+    print("  ".join(f"{h:>14}" for h in header))
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:>14.2f}")
+            else:
+                cells.append(f"{value!s:>14}")
+        print("  ".join(cells))
+
+
+# ----------------------------------------------------------------------
+# Section 5.2 — workload characterisation
+# ----------------------------------------------------------------------
+
+
+def workload_stats(trace: Optional[Trace] = None, show: bool = False):
+    """In-text numbers of Section 5.2: paper vs. this reproduction."""
+    trace = trace or default_trace()
+    stats = compute_stats(trace)
+    rows = [
+        ("rounds", PAPER_WORKLOAD["rounds"], stats.rounds),
+        ("messages/s", PAPER_WORKLOAD["message_rate"], round(stats.message_rate, 2)),
+        (
+            "modified items/round",
+            PAPER_WORKLOAD["mean_modified_per_round"],
+            round(stats.mean_modified_per_round, 2),
+        ),
+        (
+            "active items",
+            PAPER_WORKLOAD["mean_active_items"],
+            round(stats.mean_active_items, 2),
+        ),
+        (
+            "never obsolete (%)",
+            PAPER_WORKLOAD["never_obsolete_pct"],
+            round(100 * stats.never_obsolete_share, 2),
+        ),
+    ]
+    if show:
+        _print_rows(
+            "Section 5.2 workload characterisation",
+            ("metric", "paper", "measured"),
+            rows,
+        )
+    return rows
+
+
+def figure_3a(
+    trace: Optional[Trace] = None, top: int = 50, show: bool = False
+) -> List[Tuple[int, float]]:
+    """Figure 3(a): frequency of item modifications by rank."""
+    trace = trace or default_trace()
+    rows = item_rank_profile(trace, top=top)
+    if show:
+        _print_rows(
+            "Figure 3(a) — item rank vs % of rounds modified",
+            ("rank", "% of rounds"),
+            rows,
+        )
+    return rows
+
+
+def figure_3b(
+    trace: Optional[Trace] = None, max_distance: int = 20, show: bool = False
+) -> List[Tuple[int, float]]:
+    """Figure 3(b): obsolescence distance distribution."""
+    trace = trace or default_trace()
+    hist = obsolescence_distances(trace, max_distance=max_distance)
+    rows = [(d, round(p, 2)) for d, p in hist.percentages()]
+    if show:
+        _print_rows(
+            "Figure 3(b) — distance to closest related message",
+            ("distance", "% of messages"),
+            rows,
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Section 5.4 — Figure 4: sample runs at one buffer size
+# ----------------------------------------------------------------------
+
+DEFAULT_RATES = (140, 120, 100, 80, 73, 60, 50, 40, 30, 28, 20)
+
+
+def figure_4a(
+    trace: Optional[Trace] = None,
+    buffer_size: int = 15,
+    rates: Sequence[int] = DEFAULT_RATES,
+    show: bool = False,
+) -> List[Tuple[int, float, float]]:
+    """Figure 4(a): producer idle % vs consumer rate, reliable vs semantic."""
+    trace = trace or default_trace()
+    rows = []
+    for rate in rates:
+        rel = run_slow_receiver(
+            trace,
+            ThroughputConfig(
+                buffer_size=buffer_size, consumer_rate=rate, semantic=False
+            ),
+        )
+        sem = run_slow_receiver(
+            trace,
+            ThroughputConfig(
+                buffer_size=buffer_size, consumer_rate=rate, semantic=True
+            ),
+        )
+        rows.append(
+            (rate, round(rel.producer_idle_pct, 2), round(sem.producer_idle_pct, 2))
+        )
+    if show:
+        _print_rows(
+            f"Figure 4(a) — producer idle % (buffer={buffer_size})",
+            ("consumer msg/s", "reliable", "semantic"),
+            rows,
+        )
+    return rows
+
+
+def figure_4b(
+    trace: Optional[Trace] = None,
+    buffer_size: int = 15,
+    rates: Sequence[int] = DEFAULT_RATES,
+    show: bool = False,
+) -> List[Tuple[int, float, float]]:
+    """Figure 4(b): mean buffer occupancy vs consumer rate."""
+    trace = trace or default_trace()
+    rows = []
+    for rate in rates:
+        rel = run_slow_receiver(
+            trace,
+            ThroughputConfig(
+                buffer_size=buffer_size, consumer_rate=rate, semantic=False
+            ),
+        )
+        sem = run_slow_receiver(
+            trace,
+            ThroughputConfig(
+                buffer_size=buffer_size, consumer_rate=rate, semantic=True
+            ),
+        )
+        rows.append(
+            (rate, round(rel.mean_occupancy, 2), round(sem.mean_occupancy, 2))
+        )
+    if show:
+        _print_rows(
+            f"Figure 4(b) — buffer occupancy in messages (buffer={buffer_size})",
+            ("consumer msg/s", "reliable", "semantic"),
+            rows,
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Section 5.4 — Figure 5: sweeps over buffer size
+# ----------------------------------------------------------------------
+
+DEFAULT_BUFFERS = (4, 8, 12, 16, 20, 24, 28)
+
+
+def figure_5a(
+    trace: Optional[Trace] = None,
+    buffers: Sequence[int] = DEFAULT_BUFFERS,
+    show: bool = False,
+) -> List[Tuple[int, int, int]]:
+    """Figure 5(a): minimum tolerable consumer rate vs buffer size."""
+    trace = trace or default_trace()
+    rows = []
+    for buffer_size in buffers:
+        rel = threshold_rate(trace, buffer_size, semantic=False)
+        sem = threshold_rate(trace, buffer_size, semantic=True)
+        rows.append((buffer_size, rel, sem))
+    if show:
+        mean_rate = trace.message_rate
+        _print_rows(
+            f"Figure 5(a) — threshold consumer rate (mean input "
+            f"{mean_rate:.1f} msg/s; paper at B=15: reliable 73, semantic 28)",
+            ("buffer (msg)", "reliable", "semantic"),
+            rows,
+        )
+    return rows
+
+
+def figure_5b(
+    trace: Optional[Trace] = None,
+    buffers: Sequence[int] = DEFAULT_BUFFERS,
+    probes: int = 8,
+    show: bool = False,
+) -> List[Tuple[int, float, float]]:
+    """Figure 5(b): tolerated full-stop perturbation length vs buffer size."""
+    trace = trace or default_trace()
+    rows = []
+    for buffer_size in buffers:
+        rel = perturbation_tolerance(trace, buffer_size, semantic=False, probes=probes)
+        sem = perturbation_tolerance(trace, buffer_size, semantic=True, probes=probes)
+        rows.append((buffer_size, round(rel * 1000, 1), round(sem * 1000, 1)))
+    if show:
+        _print_rows(
+            "Figure 5(b) — tolerated perturbation in ms "
+            "(paper at B=24: reliable 342, semantic 857)",
+            ("buffer (msg)", "reliable (ms)", "semantic (ms)"),
+            rows,
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Section 5.4 — view change latency claim
+# ----------------------------------------------------------------------
+
+
+def view_change_latency_table(
+    trace: Optional[Trace] = None,
+    slow_rate: float = 25.0,
+    load_time: float = 30.0,
+    show: bool = False,
+) -> List[Tuple[str, int, int, float]]:
+    """View change under load: backlog, purges, app-perceived latency."""
+    trace = trace or default_trace()
+    rows = []
+    for semantic in (False, True):
+        result = measure_view_change_latency(
+            trace, semantic=semantic, slow_rate=slow_rate, load_time=load_time
+        )
+        rows.append(
+            (
+                "semantic" if semantic else "reliable",
+                result.backlog_at_trigger,
+                result.purged_at_slow,
+                round(result.slow_app_latency, 3),
+            )
+        )
+    if show:
+        _print_rows(
+            f"View change under load (slow consumer at {slow_rate} msg/s)",
+            ("protocol", "backlog (msg)", "purged", "app latency (s)"),
+            rows,
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Ablations (ours)
+# ----------------------------------------------------------------------
+
+
+def ablation_k(
+    trace: Optional[Trace] = None,
+    buffer_size: int = 15,
+    ks: Sequence[int] = (2, 5, 10, 15, 30, 60, 120),
+    consumer_rate: int = 30,
+    show: bool = False,
+) -> List[Tuple[int, float, float]]:
+    """Sensitivity to the k-enumeration window (paper picks k = 2×buffer).
+
+    Too-small k cannot express the obsolescence of distant pairs, so the
+    purge ratio — and with it the idle percentage — collapses.
+    """
+    trace = trace or default_trace()
+    rows = []
+    for k in ks:
+        result = run_slow_receiver(
+            trace,
+            ThroughputConfig(
+                buffer_size=buffer_size,
+                consumer_rate=consumer_rate,
+                semantic=True,
+                k=k,
+            ),
+        )
+        rows.append(
+            (k, round(result.purge_ratio, 3), round(result.producer_idle_pct, 2))
+        )
+    if show:
+        _print_rows(
+            f"Ablation — k-enumeration window (buffer={buffer_size}, "
+            f"consumer={consumer_rate} msg/s; paper's k = {2 * buffer_size})",
+            ("k", "purge ratio", "producer idle %"),
+            rows,
+        )
+    return rows
+
+
+def ablation_representation(
+    trace: Optional[Trace] = None,
+    buffer_size: int = 15,
+    consumer_rate: int = 30,
+    show: bool = False,
+) -> List[Tuple[str, float, float]]:
+    """Compare the three obsolescence representations of Section 4.2.
+
+    Item tagging and message enumeration express unbounded-distance
+    relations; k-enumeration trades a little purging power for O(k) state.
+    """
+    trace = trace or default_trace()
+    rows = []
+    for representation in ("tagging", "enumeration", "k-enumeration"):
+        result = run_slow_receiver(
+            trace,
+            ThroughputConfig(
+                buffer_size=buffer_size,
+                consumer_rate=consumer_rate,
+                semantic=True,
+                representation=representation,
+            ),
+        )
+        rows.append(
+            (
+                representation,
+                round(result.purge_ratio, 3),
+                round(result.producer_idle_pct, 2),
+            )
+        )
+    if show:
+        _print_rows(
+            f"Ablation — representation (buffer={buffer_size}, "
+            f"consumer={consumer_rate} msg/s)",
+            ("representation", "purge ratio", "producer idle %"),
+            rows,
+        )
+    return rows
+
+
+def ablation_players(
+    players: Sequence[int] = (2, 5, 10, 16),
+    rounds: int = 6000,
+    show: bool = False,
+) -> List[Tuple[int, float, float, float]]:
+    """Player-count scaling (Section 5.2, last paragraph).
+
+    The paper observes: with more players the message rate increases, the
+    never-obsolete share decreases, and the distance between related
+    messages increases.
+    """
+    base = GameConfig(rounds=rounds)
+    rows = []
+    for count in players:
+        trace = generate_game_trace(base.scaled_for_players(count))
+        stats = compute_stats(trace)
+        rows.append(
+            (
+                count,
+                round(stats.message_rate, 1),
+                round(100 * stats.never_obsolete_share, 1),
+                round(stats.mean_obsolescence_distance, 1),
+            )
+        )
+    if show:
+        _print_rows(
+            "Ablation — player-count scaling",
+            ("players", "msg/s", "never-obs %", "mean distance"),
+            rows,
+        )
+    return rows

@@ -1,0 +1,149 @@
+"""View-change latency under load (Section 5.4, Figure 4(b) discussion).
+
+The paper's claim: "the amount of used buffer space impacts on the latency
+of the view change protocol, which must wait for all pending messages to be
+stable" — so by purging obsolete messages instead of accumulating them,
+SVS keeps view changes fast *without* shrinking buffers.
+
+This experiment runs the **full protocol stack** (not the reduced
+throughput model): a group multicasts game traffic, one member consumes
+slowly and builds a delivery-queue backlog, and a view change is triggered.
+The application perceives the view change only when the VIEW notification
+comes out of its delivery queue — behind the backlog — so the measured
+app-level latency directly exposes the buffered-message cost the paper
+describes.  The flush size (messages added at installation) is reported
+too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.message import View, ViewDelivery
+from repro.core.obsolescence import EmptyRelation, KEnumeration
+from repro.gcs.endpoint import GroupEndpoint, RateLimitedConsumer
+from repro.gcs.stack import GroupStack, StackConfig
+from repro.workload.trace import Trace, to_data_messages
+
+__all__ = ["ViewChangeLatencyResult", "measure_view_change_latency"]
+
+
+@dataclass(frozen=True)
+class ViewChangeLatencyResult:
+    """Measurements of one loaded view change."""
+
+    semantic: bool
+    slow_rate: float
+    backlog_at_trigger: int
+    """Slow member's delivery-queue length when the change was triggered."""
+    flush_added: Dict[int, int]
+    """pid -> messages added by the installation flush."""
+    protocol_latency: float
+    """Trigger to protocol-level installation (consensus completed)."""
+    app_latency: Dict[int, float]
+    """pid -> trigger to the application delivering the VIEW notification."""
+    purged_at_slow: int
+
+    @property
+    def slow_app_latency(self) -> float:
+        return max(self.app_latency.values())
+
+
+def measure_view_change_latency(
+    trace: Trace,
+    semantic: bool,
+    slow_rate: float = 30.0,
+    n: int = 3,
+    slow_pid: int = 1,
+    load_time: float = 30.0,
+    k: int = 64,
+    fast_rate: float = 10_000.0,
+    seed: int = 0,
+) -> ViewChangeLatencyResult:
+    """Load the group for ``load_time`` seconds, then change views.
+
+    Process 0 multicasts the trace; ``slow_pid`` consumes at ``slow_rate``
+    messages per second while everyone else keeps up.  At ``load_time`` a
+    view change (with no membership change) is triggered and its latency
+    measured at every member.
+    """
+    messages, relation = to_data_messages(trace, "k-enumeration", k=k)
+    if not semantic:
+        relation = EmptyRelation()
+    stack = GroupStack(
+        relation,
+        StackConfig(n=n, seed=seed, consensus="chandra-toueg", fd="oracle"),
+    )
+    sim = stack.sim
+
+    flush_added: Dict[int, int] = {}
+    install_time: Dict[int, float] = {}
+    app_view_time: Dict[int, float] = {}
+
+    def on_flush(pid: int, flush_size: int, added: int) -> None:
+        flush_added[pid] = added
+
+    def on_install(pid: int, view: View) -> None:
+        if view.vid == 1:
+            install_time[pid] = sim.now
+
+    endpoints: Dict[int, GroupEndpoint] = {}
+    consumers: Dict[int, RateLimitedConsumer] = {}
+    for pid, proc in stack.processes.items():
+        proc.listeners.on_flush = on_flush
+        proc.listeners.on_install = on_install
+        endpoint = GroupEndpoint(proc)
+        endpoints[pid] = endpoint
+
+        def on_view(view: View, pid: int = pid) -> None:
+            if view.vid == 1:
+                app_view_time[pid] = sim.now
+
+        endpoint.on_view = on_view
+        rate = slow_rate if pid == slow_pid else fast_rate
+        consumer = RateLimitedConsumer(sim, endpoint, rate)
+        consumer.start()
+        consumers[pid] = consumer
+
+    # Producer: multicast the trace from process 0 at its own timestamps.
+    producer = stack.processes[0]
+
+    def inject(index: int) -> None:
+        if index >= len(messages) or producer.crashed:
+            return
+        msg = messages[index]
+        producer.multicast(msg.payload, msg.annotation)
+        if index + 1 < len(messages):
+            nxt = messages[index + 1]
+            sim.schedule(max(0.0, nxt.payload.time - sim.now), inject, index + 1)
+
+    sim.schedule_at(messages[0].payload.time, inject, 0)
+
+    backlog = {"value": 0, "purged": 0}
+    trigger_time = load_time
+
+    def trigger() -> None:
+        backlog["value"] = stack.processes[slow_pid].pending
+        backlog["purged"] = stack.processes[slow_pid].to_deliver.stats.purged
+        stack.processes[0].trigger_view_change()
+
+    sim.schedule_at(trigger_time, trigger)
+    # Run long enough for the slow consumer to drain its backlog.
+    sim.run(until=trigger_time + 60.0)
+
+    protocol_latency = (
+        max(install_time.values()) - trigger_time if install_time else float("nan")
+    )
+    app_latency = {
+        pid: t - trigger_time for pid, t in app_view_time.items()
+    }
+    return ViewChangeLatencyResult(
+        semantic=semantic,
+        slow_rate=slow_rate,
+        backlog_at_trigger=backlog["value"],
+        flush_added=dict(flush_added),
+        protocol_latency=protocol_latency,
+        app_latency=app_latency,
+        purged_at_slow=backlog["purged"],
+    )

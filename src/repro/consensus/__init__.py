@@ -1,0 +1,18 @@
+"""Consensus building block: interface, ◇S implementation, oracle."""
+
+from repro.consensus.interface import (
+    CONSENSUS_STREAM,
+    ConsensusFactory,
+    ConsensusInstance,
+)
+from repro.consensus.chandra_toueg import ChandraTouegConsensus
+from repro.consensus.oracle import OracleConsensusHub, OracleConsensusInstance
+
+__all__ = [
+    "ConsensusInstance",
+    "ConsensusFactory",
+    "CONSENSUS_STREAM",
+    "ChandraTouegConsensus",
+    "OracleConsensusHub",
+    "OracleConsensusInstance",
+]

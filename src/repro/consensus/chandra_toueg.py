@@ -1,0 +1,242 @@
+"""Chandra–Toueg ◇S consensus with a rotating coordinator.
+
+This is the consensus building block assumed by the paper (Section 3.1,
+citing Chandra & Toueg 1996 and the Guerraoui–Schiper generic consensus
+service).  It solves uniform consensus in the asynchronous model with
+reliable channels, crash-stop failures of a minority of participants, and
+an eventually strong (◇S) failure detector.
+
+Protocol sketch (per round ``r``, coordinator ``c = participants[r mod n]``):
+
+1. every participant sends ``ESTIMATE(r, estimate, ts)`` to ``c``;
+2. ``c`` collects a majority of estimates, adopts the one with the highest
+   timestamp, and sends ``PROPOSE(r, v)`` to all;
+3. each participant waits for the proposal *or* for its failure detector to
+   suspect ``c``; it answers ``ACK(r)`` (locking ``v`` with ``ts = r``) or
+   ``NACK(r)`` and immediately moves to round ``r + 1``;
+4. if ``c`` collects a majority of ACKs it reliably broadcasts
+   ``DECIDE(v)``; any NACK sends it to the next round instead.
+
+``DECIDE`` is delivered via the classic flood: on first receipt, forward to
+all participants and decide — this makes decision uniform despite crashes.
+
+The locking mechanism (highest-timestamp adoption + majority intersection)
+gives agreement; validity holds because estimates only ever hold proposals;
+termination holds once the detector stops wrongly suspecting the
+coordinator (◇S), since rounds rotate through all participants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.consensus.interface import CONSENSUS_STREAM, ConsensusInstance, DecisionCallback
+from repro.core.message import Envelope
+from repro.fd.detector import FailureDetector
+from repro.sim.process import ProcessId, SimProcess
+
+__all__ = [
+    "Estimate",
+    "Proposal",
+    "Ack",
+    "Nack",
+    "Decide",
+    "ChandraTouegConsensus",
+]
+
+
+@dataclass(frozen=True)
+class Estimate:
+    round: int
+    value: Any
+    ts: int
+
+
+@dataclass(frozen=True)
+class Proposal:
+    round: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class Ack:
+    round: int
+
+
+@dataclass(frozen=True)
+class Nack:
+    round: int
+
+
+@dataclass(frozen=True)
+class Decide:
+    value: Any
+
+
+class ChandraTouegConsensus(ConsensusInstance):
+    """One ◇S consensus instance embedded in a simulated process.
+
+    The owner process must route ``Envelope(stream="consensus",
+    instance=key)`` messages into :meth:`on_message`.  The instance
+    subscribes to the failure detector to unblock phase 3 when the
+    coordinator is suspected.
+    """
+
+    def __init__(
+        self,
+        owner: SimProcess,
+        key: Hashable,
+        participants: Sequence[ProcessId],
+        on_decide: DecisionCallback,
+        fd: FailureDetector,
+    ) -> None:
+        super().__init__(key, participants, on_decide)
+        self.owner = owner
+        self.fd = fd
+        self._proposed = False
+        self._estimate: Any = None
+        self._ts = -1  # round in which the estimate was last locked
+        self._round = 0
+        self._waiting_proposal = False  # in phase 3 of self._round
+        self._answered_rounds: Set[int] = set()
+        # Out-of-order buffers, keyed by round.
+        self._estimates: Dict[int, Dict[ProcessId, Estimate]] = {}
+        self._proposals: Dict[int, Proposal] = {}
+        self._replies: Dict[int, Dict[ProcessId, bool]] = {}  # True=ACK
+        self._proposal_sent_rounds: Set[int] = set()
+        self._decide_forwarded = False
+        fd.subscribe(self._on_suspicion_change)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def propose(self, value: Any) -> None:
+        if self._proposed:
+            return
+        self._proposed = True
+        self._estimate = value
+        self._ts = -1
+        self._start_round(0)
+
+    # ------------------------------------------------------------------
+    # Round machinery
+    # ------------------------------------------------------------------
+
+    def _coordinator(self, rnd: int) -> ProcessId:
+        return self.participants[rnd % len(self.participants)]
+
+    def _start_round(self, rnd: int) -> None:
+        if self.decided or self.owner.crashed:
+            return
+        self._round = rnd
+        self._waiting_proposal = True
+        coordinator = self._coordinator(rnd)
+        self._send(coordinator, Estimate(rnd, self._estimate, self._ts))
+        # Phase 2 may already be satisfiable from buffered estimates.
+        self._maybe_coordinate(rnd)
+        # Phase 3 may already be satisfiable (buffered proposal/suspicion).
+        self._maybe_answer(rnd)
+
+    def _maybe_coordinate(self, rnd: int) -> None:
+        """Phase 2: as coordinator, propose once a majority of estimates is in."""
+        if self.decided or self._coordinator(rnd) != self.owner.pid:
+            return
+        if rnd in self._proposal_sent_rounds:
+            return
+        estimates = self._estimates.get(rnd, {})
+        if len(estimates) < self.majority:
+            return
+        best = max(estimates.values(), key=lambda e: e.ts)
+        self._proposal_sent_rounds.add(rnd)
+        proposal = Proposal(rnd, best.value)
+        for p in self.participants:
+            self._send(p, proposal)
+
+    def _maybe_answer(self, rnd: int) -> None:
+        """Phase 3: answer the coordinator's proposal, or NACK on suspicion."""
+        if self.decided or not self._waiting_proposal or rnd != self._round:
+            return
+        if rnd in self._answered_rounds:
+            return
+        coordinator = self._coordinator(rnd)
+        proposal = self._proposals.get(rnd)
+        if proposal is not None:
+            self._estimate = proposal.value
+            self._ts = rnd
+            self._answered_rounds.add(rnd)
+            self._waiting_proposal = False
+            self._send(coordinator, Ack(rnd))
+            self._start_round(rnd + 1)
+        elif self.fd.suspects(coordinator):
+            self._answered_rounds.add(rnd)
+            self._waiting_proposal = False
+            self._send(coordinator, Nack(rnd))
+            self._start_round(rnd + 1)
+
+    def _maybe_decide(self, rnd: int) -> None:
+        """Phase 4: as coordinator, decide on a majority of ACKs."""
+        if self.decided or self._coordinator(rnd) != self.owner.pid:
+            return
+        if rnd not in self._proposal_sent_rounds:
+            return
+        replies = self._replies.get(rnd, {})
+        acks = sum(1 for is_ack in replies.values() if is_ack)
+        if acks >= self.majority:
+            self._broadcast_decide(self._proposals[rnd].value)
+
+    def _broadcast_decide(self, value: Any) -> None:
+        if self._decide_forwarded:
+            return
+        self._decide_forwarded = True
+        decide = Decide(value)
+        for p in self.participants:
+            if p != self.owner.pid:
+                self._send(p, decide)
+        self._decide(value)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+
+    def on_message(self, sender: ProcessId, body: Any) -> None:
+        if self.owner.crashed:
+            return
+        if isinstance(body, Decide):
+            # Reliable broadcast: forward before deciding.
+            self._broadcast_decide(body.value)
+            return
+        if self.decided:
+            return
+        if isinstance(body, Estimate):
+            self._estimates.setdefault(body.round, {})[sender] = body
+            if self._proposed:
+                self._maybe_coordinate(body.round)
+        elif isinstance(body, Proposal):
+            # Only the genuine coordinator's proposal counts.
+            if sender == self._coordinator(body.round):
+                self._proposals[body.round] = body
+                if self._proposed:
+                    self._maybe_answer(body.round)
+        elif isinstance(body, Ack):
+            self._replies.setdefault(body.round, {})[sender] = True
+            if self._proposed:
+                self._maybe_decide(body.round)
+        elif isinstance(body, Nack):
+            self._replies.setdefault(body.round, {})[sender] = False
+            # A NACK can never complete a decision; nothing else to do —
+            # the coordinator has itself moved on via its own phase 3.
+
+    def _on_suspicion_change(self, pid: ProcessId, suspected: bool) -> None:
+        if suspected and self._proposed and not self.decided:
+            self._maybe_answer(self._round)
+
+    def _send(self, dst: ProcessId, body: Any) -> None:
+        envelope = Envelope(stream=CONSENSUS_STREAM, body=body, instance=self.key)
+        if dst == self.owner.pid:
+            # Loop back locally at the next event boundary to keep the
+            # handler reentrancy-free.
+            self.owner.sim.schedule(0.0, self.on_message, self.owner.pid, body)
+        else:
+            self.owner.send(dst, envelope)

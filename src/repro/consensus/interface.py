@@ -1,0 +1,84 @@
+"""Consensus building-block interface.
+
+The SVS protocol (Figure 1, t7) treats consensus as "a procedure which
+takes as an input parameter a proposed value and returns a decided value"
+(Section 3.1): all correct participants decide the same value, and the
+decided value is one of the proposed values.
+
+In an event-driven simulation the procedure becomes an *instance* object:
+``propose(value)`` starts participation and the decision arrives through a
+callback.  Instances are multiplexed over the owning process's network
+channel using :class:`~repro.core.message.Envelope` with stream
+``"consensus"`` and the instance key (the closing view id, for SVS).
+
+Two interchangeable implementations exist:
+
+* :class:`~repro.consensus.chandra_toueg.ChandraTouegConsensus` — the real
+  ◇S rotating-coordinator protocol, message-by-message;
+* :class:`~repro.consensus.oracle.OracleConsensusHub` — an instant oracle
+  that decides the first proposal, for fast unit tests.
+
+The SVS safety tests pass with either, demonstrating the modularity the
+paper claims ("SVS can easily be obtained by adapting an existing view
+synchronous protocol").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fd.detector import FailureDetector
+    from repro.sim.process import ProcessId, SimProcess
+
+__all__ = ["ConsensusInstance", "ConsensusFactory", "CONSENSUS_STREAM"]
+
+CONSENSUS_STREAM = "consensus"
+
+#: Invoked exactly once per instance with the decided value.
+DecisionCallback = Callable[[Any], None]
+
+
+class ConsensusInstance:
+    """One consensus instance at one participant."""
+
+    def __init__(
+        self,
+        key: Hashable,
+        participants: Sequence["ProcessId"],
+        on_decide: DecisionCallback,
+    ) -> None:
+        if not participants:
+            raise ValueError("consensus needs at least one participant")
+        self.key = key
+        self.participants = tuple(sorted(participants))
+        self._on_decide = on_decide
+        self.decided = False
+        self.decision: Optional[Any] = None
+
+    def propose(self, value: Any) -> None:
+        """Start participating with ``value`` as this process's proposal."""
+        raise NotImplementedError
+
+    def on_message(self, sender: "ProcessId", body: Any) -> None:
+        """Feed a consensus protocol message routed by the owner."""
+        raise NotImplementedError
+
+    def _decide(self, value: Any) -> None:
+        """Record the decision and fire the callback (idempotent)."""
+        if self.decided:
+            return
+        self.decided = True
+        self.decision = value
+        self._on_decide(value)
+
+    @property
+    def majority(self) -> int:
+        return len(self.participants) // 2 + 1
+
+
+#: factory(owner, key, participants, on_decide) -> ConsensusInstance
+ConsensusFactory = Callable[
+    ["SimProcess", Hashable, Sequence["ProcessId"], DecisionCallback],
+    ConsensusInstance,
+]

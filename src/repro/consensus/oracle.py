@@ -1,0 +1,94 @@
+"""Instant consensus oracle for tests and fast experiments.
+
+Decides the *first* proposal made for each key and announces the decision
+to every registered instance after a configurable delay.  Satisfies the
+consensus contract (agreement, validity, termination for all registered
+instances) by construction, with zero protocol messages — useful to test
+SVS logic in isolation from consensus latency, and as the fast path in
+large experiment sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence
+
+from repro.consensus.interface import ConsensusInstance, DecisionCallback
+from repro.sim.kernel import Simulator
+from repro.sim.process import ProcessId, SimProcess
+
+__all__ = ["OracleConsensusHub", "OracleConsensusInstance"]
+
+
+class OracleConsensusInstance(ConsensusInstance):
+    """Per-process endpoint of the oracle; see :class:`OracleConsensusHub`."""
+
+    def __init__(
+        self,
+        hub: "OracleConsensusHub",
+        owner: SimProcess,
+        key: Hashable,
+        participants: Sequence[ProcessId],
+        on_decide: DecisionCallback,
+    ) -> None:
+        super().__init__(key, participants, on_decide)
+        self.hub = hub
+        self.owner = owner
+        hub._register(self)
+
+    def propose(self, value: Any) -> None:
+        self.hub._propose(self.key, value)
+
+    def on_message(self, sender: ProcessId, body: Any) -> None:
+        # The oracle never sends network messages.
+        raise AssertionError("oracle consensus uses no protocol messages")
+
+    def _announce(self, value: Any) -> None:
+        if not self.owner.crashed:
+            self._decide(value)
+
+
+class OracleConsensusHub:
+    """Shared decision authority keyed by consensus instance.
+
+    ``decision_delay`` models the latency of a real consensus round so that
+    experiments using the oracle still exhibit a non-zero view-change
+    window.
+    """
+
+    def __init__(self, sim: Simulator, decision_delay: float = 0.0) -> None:
+        if decision_delay < 0:
+            raise ValueError(f"negative decision delay: {decision_delay}")
+        self.sim = sim
+        self.decision_delay = decision_delay
+        self._instances: Dict[Hashable, List[OracleConsensusInstance]] = {}
+        self._decisions: Dict[Hashable, Any] = {}
+
+    def instance(
+        self,
+        owner: SimProcess,
+        key: Hashable,
+        participants: Sequence[ProcessId],
+        on_decide: DecisionCallback,
+    ) -> OracleConsensusInstance:
+        """Factory with the :data:`ConsensusFactory` signature (bound)."""
+        return OracleConsensusInstance(self, owner, key, participants, on_decide)
+
+    # ------------------------------------------------------------------
+    # Hub internals
+    # ------------------------------------------------------------------
+
+    def _register(self, instance: OracleConsensusInstance) -> None:
+        self._instances.setdefault(instance.key, []).append(instance)
+        if instance.key in self._decisions:
+            value = self._decisions[instance.key]
+            self.sim.schedule(self.decision_delay, instance._announce, value)
+
+    def _propose(self, key: Hashable, value: Any) -> None:
+        if key in self._decisions:
+            return
+        self._decisions[key] = value
+        for instance in self._instances.get(key, []):
+            self.sim.schedule(self.decision_delay, instance._announce, value)
+
+    def decision_for(self, key: Hashable) -> Optional[Any]:
+        return self._decisions.get(key)

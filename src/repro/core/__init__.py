@@ -1,0 +1,72 @@
+"""Core SVS library: messages, obsolescence, buffers, batches, protocol, spec."""
+
+from repro.core.batch import BatchAssembler, BatchEncoder, BatchMessagePayload, ItemUpdate
+from repro.core.buffers import DeliveryQueue, QueueFullError, QueueStats
+from repro.core.message import (
+    DataMessage,
+    Envelope,
+    InitMessage,
+    MessageId,
+    PredMessage,
+    View,
+    ViewDelivery,
+)
+from repro.core.obsolescence import (
+    EmptyRelation,
+    EnumerationEncoder,
+    ExplicitRelation,
+    ItemTagging,
+    KEnumeration,
+    KEnumerationEncoder,
+    MessageEnumeration,
+    ObsolescenceRelation,
+    check_strict_partial_order,
+)
+from repro.core.spec import (
+    HistoryRecorder,
+    ProcessHistory,
+    check_all,
+    check_classic_vs,
+    check_fifo_sr,
+    check_integrity,
+    check_svs,
+    check_view_agreement,
+)
+from repro.core.svs import SVS_STREAM, SVSListeners, SVSProcess
+
+__all__ = [
+    "MessageId",
+    "View",
+    "DataMessage",
+    "ViewDelivery",
+    "InitMessage",
+    "PredMessage",
+    "Envelope",
+    "ObsolescenceRelation",
+    "EmptyRelation",
+    "ItemTagging",
+    "MessageEnumeration",
+    "EnumerationEncoder",
+    "KEnumeration",
+    "KEnumerationEncoder",
+    "ExplicitRelation",
+    "check_strict_partial_order",
+    "DeliveryQueue",
+    "QueueFullError",
+    "QueueStats",
+    "ItemUpdate",
+    "BatchMessagePayload",
+    "BatchEncoder",
+    "BatchAssembler",
+    "SVSProcess",
+    "SVSListeners",
+    "SVS_STREAM",
+    "HistoryRecorder",
+    "ProcessHistory",
+    "check_svs",
+    "check_fifo_sr",
+    "check_integrity",
+    "check_view_agreement",
+    "check_classic_vs",
+    "check_all",
+]

@@ -1,0 +1,215 @@
+"""Multi-item (composite) updates: batches terminated by a commit.
+
+Section 4.1 of the paper: a composite update touching several items cannot
+usefully be related to other composite updates (only superset updates would
+qualify), so it is *split* into a batch of single-item update messages
+terminated by a commit message.  Receivers buffer a batch's updates and
+apply them atomically when the commit arrives; FIFO order guarantees the
+commit trails its batch.
+
+Obsolescence rules (Figure 2):
+
+* interior update messages never make anything obsolete — otherwise a
+  partially purged earlier batch could be applied non-atomically;
+* the **commit** message carries the batch's entire obsolescence: it makes
+  obsolete every earlier update (from an already *committed* batch) that an
+  update in its batch supersedes;
+* updates become obsolete only via later commits; commits themselves are
+  never obsolete (they are the atomicity anchors).
+
+The paper notes the commit role can be played by the batch's last message;
+:class:`BatchEncoder` supports both styles (``commit_piggybacked``).
+
+The bitmap composition uses exactly the shift/or operators the paper
+advertises for k-enumeration: the commit's bitmap is the OR of the bitmaps
+each update *would* have carried, shifted by the update's distance from the
+commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.message import DataMessage, MessageId
+from repro.core.obsolescence import KEnumerationEncoder
+
+__all__ = [
+    "ItemUpdate",
+    "BatchMessagePayload",
+    "BatchEncoder",
+    "BatchAssembler",
+]
+
+
+@dataclass(frozen=True)
+class ItemUpdate:
+    """One item's new value inside a composite update."""
+
+    item: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class BatchMessagePayload:
+    """Payload of a batch-encoded data message.
+
+    ``kind`` is ``"update"`` or ``"commit"``; a piggybacked commit carries
+    both an update and ``commit=True``.  ``batch_id`` groups the messages of
+    one composite update for the receiving assembler.
+    """
+
+    batch_id: int
+    update: Optional[ItemUpdate]
+    commit: bool
+
+    @property
+    def is_update(self) -> bool:
+        return self.update is not None
+
+
+class BatchEncoder:
+    """Sender-side batch splitter and obsolescence composer.
+
+    Wraps a :class:`~repro.core.obsolescence.KEnumerationEncoder`; every
+    emitted message consumes one sequence number of the sender's stream.
+    The encoder tracks, per item, the sequence number of the latest
+    *committed* update so a commit can obsolete superseded updates from
+    earlier batches — and only from earlier (committed) batches, never from
+    its own.
+    """
+
+    def __init__(
+        self,
+        encoder: KEnumerationEncoder,
+        view_id_source: Any = None,
+        commit_piggybacked: bool = True,
+    ) -> None:
+        self._encoder = encoder
+        self._view_id_source = view_id_source
+        self.commit_piggybacked = commit_piggybacked
+        # item -> (sn, message was itself a commit).  Commit messages are
+        # never valid obsolescence targets: purging a (piggybacked) commit
+        # would strand its batch's other updates uncommitted — a torn
+        # batch.  The commit is the atomicity anchor and must survive.
+        self._last_committed_sn: Dict[int, Tuple[int, bool]] = {}
+        self._next_batch = 0
+
+    @property
+    def sender(self) -> int:
+        return self._encoder.sender
+
+    def _view_id(self) -> int:
+        if self._view_id_source is None:
+            return 0
+        if callable(self._view_id_source):
+            return self._view_id_source()
+        return int(self._view_id_source)
+
+    def encode_batch(self, updates: Sequence[ItemUpdate]) -> List[DataMessage]:
+        """Split a composite update into annotated data messages.
+
+        The returned messages must be multicast in order.  Interior updates
+        carry an empty bitmap; the commit carries the composed bitmap that
+        obsoletes each superseded prior-batch update of the batch's items.
+        """
+        if not updates:
+            raise ValueError("a batch must contain at least one update")
+        batch_id = self._next_batch
+        self._next_batch += 1
+        view_id = self._view_id()
+
+        messages: List[DataMessage] = []
+        pending: List[Tuple[int, ItemUpdate]] = []  # (sn, update)
+
+        body = updates if self.commit_piggybacked else list(updates) + [None]
+        last_index = len(body) - 1
+        for index, update in enumerate(body):
+            mid = self._encoder.next_mid()
+            is_commit = index == last_index
+            if is_commit:
+                annotation = self._commit_bitmap(mid.sn, pending, update)
+            else:
+                annotation = 0
+                self._encoder.record(mid.sn, 0)
+            if update is not None:
+                pending.append((mid.sn, update))
+            payload = BatchMessagePayload(
+                batch_id=batch_id, update=update, commit=is_commit
+            )
+            messages.append(
+                DataMessage(
+                    mid=mid, view_id=view_id, payload=payload, annotation=annotation
+                )
+            )
+        # The batch is now committed: its updates become the latest
+        # committed values of their items.  The final entry of ``pending``
+        # is the piggybacked commit when that style is in use.
+        commit_sn = messages[-1].sn
+        for sn, update in pending:
+            self._last_committed_sn[update.item] = (sn, sn == commit_sn)
+        return messages
+
+    def _commit_bitmap(
+        self,
+        commit_sn: int,
+        pending: Sequence[Tuple[int, ItemUpdate]],
+        piggybacked: Optional[ItemUpdate],
+    ) -> int:
+        """Compose the commit's bitmap with shift/or.
+
+        For every item updated by this batch, the commit obsoletes that
+        item's latest committed prior update (if within the k window) —
+        which, through the encoder's closure composition, also covers the
+        update chain behind it.  Prior updates that were themselves commit
+        messages are exempt (see ``_last_committed_sn``).
+        """
+        batch_updates = list(pending)
+        if piggybacked is not None:
+            batch_updates.append((commit_sn, piggybacked))
+        direct: List[int] = []
+        for _sn, update in batch_updates:
+            prior = self._last_committed_sn.get(update.item)
+            if prior is not None and not prior[1]:
+                direct.append(prior[0])
+        return self._encoder.annotate(commit_sn, direct)
+
+
+class BatchAssembler:
+    """Receiver-side reconstruction of atomic composite updates.
+
+    Feed delivered batch messages in delivery order; committed batches come
+    out whole.  A batch whose interior updates were partially purged (which
+    the encoding rules make impossible for *committed* batches from a
+    correct sender — only whole earlier batches are superseded) would apply
+    only the updates that survived; the assembler exposes what it saw so
+    tests can assert the all-or-nothing property.
+    """
+
+    def __init__(self) -> None:
+        self._open: Dict[Tuple[int, int], List[ItemUpdate]] = {}
+        self.committed: List[Tuple[int, List[ItemUpdate]]] = []
+
+    def feed(self, msg: DataMessage) -> Optional[List[ItemUpdate]]:
+        """Process one delivered message.
+
+        Returns the batch's update list when ``msg`` commits a batch, else
+        ``None``.
+        """
+        payload = msg.payload
+        if not isinstance(payload, BatchMessagePayload):
+            raise TypeError(f"not a batch message: {msg!r}")
+        key = (msg.sender, payload.batch_id)
+        bucket = self._open.setdefault(key, [])
+        if payload.update is not None:
+            bucket.append(payload.update)
+        if not payload.commit:
+            return None
+        del self._open[key]
+        self.committed.append((payload.batch_id, bucket))
+        return bucket
+
+    @property
+    def open_batches(self) -> int:
+        """Number of batches begun but not yet committed."""
+        return len(self._open)

@@ -1,0 +1,244 @@
+"""Purgeable FIFO delivery queues and bounded protocol buffers.
+
+The protocol of Figure 1 keeps two ordered message sets per process —
+``to-deliver`` and ``delivered`` — and applies the ``purge`` function to
+``to-deliver`` whenever new information arrives.  :class:`DeliveryQueue`
+implements that structure: a FIFO queue of data and view messages with
+semantic purging against a configured
+:class:`~repro.core.obsolescence.ObsolescenceRelation`.
+
+Purge semantics (Figure 1)::
+
+    while ∃ m=[DATA,v,d], m'=[DATA,v',d'] ∈ S : (v = v') ∧ (m ≺ m')
+        do remove(S, m)
+
+For a transitive relation the fixpoint equals a single simultaneous pass:
+remove every message dominated by some member of the *original* set (any
+dominator removed in the loop is itself dominated by a surviving maximal
+element that, by transitivity, also dominates the removed message).  We
+implement the single pass because it is deterministic; for non-transitive
+relations (over-truncated enumerations) the fixpoint loop would be
+order-dependent, which is exactly the hazard documented in
+:mod:`repro.core.obsolescence`.
+
+View messages (:class:`~repro.core.message.ViewDelivery`) are never purged
+and never dominate anything; only DATA messages *tagged with the same view*
+participate in purging, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Set, Union
+
+from repro.core.message import DataMessage, MessageId, ViewDelivery
+from repro.core.obsolescence import ObsolescenceRelation
+
+__all__ = ["QueueFullError", "DeliveryQueue", "QueueStats"]
+
+QueueEntry = Union[DataMessage, ViewDelivery]
+
+
+class QueueFullError(RuntimeError):
+    """Raised by :meth:`DeliveryQueue.append` when a bounded queue is full."""
+
+
+class QueueStats:
+    """Lifetime counters for one queue (used by experiments and tests)."""
+
+    __slots__ = ("appended", "purged", "popped", "rejected", "max_len")
+
+    def __init__(self) -> None:
+        self.appended = 0
+        self.purged = 0
+        self.popped = 0
+        self.rejected = 0
+        self.max_len = 0
+
+    def purge_ratio(self) -> float:
+        """Fraction of appended data messages later removed by purging."""
+        if self.appended == 0:
+            return 0.0
+        return self.purged / self.appended
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"QueueStats(appended={self.appended}, purged={self.purged}, "
+            f"popped={self.popped}, rejected={self.rejected}, max={self.max_len})"
+        )
+
+
+class DeliveryQueue:
+    """FIFO queue with semantic purging and optional capacity bound.
+
+    ``capacity=None`` gives the unbounded queue used by the raw protocol;
+    the throughput model and the GCS layer use bounded queues, where
+    exhaustion triggers flow control (Section 5.3: "when its delivery queue
+    fills up, a node ceases to accept further messages").
+    """
+
+    def __init__(
+        self,
+        relation: ObsolescenceRelation,
+        capacity: Optional[int] = None,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None: {capacity}")
+        self.relation = relation
+        self.capacity = capacity
+        self._items: List[QueueEntry] = []
+        self._mids: Set[MessageId] = set()
+        self.stats = QueueStats()
+
+    # ------------------------------------------------------------------
+    # Basic container behaviour
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[QueueEntry]:
+        return iter(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def contains_mid(self, mid: MessageId) -> bool:
+        return mid in self._mids
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def free_space(self) -> Optional[int]:
+        if self.capacity is None:
+            return None
+        return self.capacity - len(self._items)
+
+    def data_messages(self) -> List[DataMessage]:
+        return [m for m in self._items if isinstance(m, DataMessage)]
+
+    def data_in_view(self, view_id: int) -> List[DataMessage]:
+        return [
+            m
+            for m in self._items
+            if isinstance(m, DataMessage) and m.view_id == view_id
+        ]
+
+    def peek(self) -> Optional[QueueEntry]:
+        return self._items[0] if self._items else None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def append(self, msg: QueueEntry) -> None:
+        """Append to the tail; raises :class:`QueueFullError` when bounded
+        and full.  Does not purge — callers follow Figure 1 and invoke
+        :meth:`purge` (or use :meth:`try_append`)."""
+        if self.is_full:
+            self.stats.rejected += 1
+            raise QueueFullError(f"queue at capacity {self.capacity}")
+        self._items.append(msg)
+        if isinstance(msg, DataMessage):
+            self._mids.add(msg.mid)
+        self.stats.appended += 1
+        if len(self._items) > self.stats.max_len:
+            self.stats.max_len = len(self._items)
+
+    def try_append(self, msg: QueueEntry) -> bool:
+        """Purge-then-append for bounded queues.
+
+        A new data message may free its own slot by making queued messages
+        obsolete — the mechanism by which a *full* buffer keeps absorbing
+        traffic under SVS.  Returns False (leaving the queue unchanged
+        except for the purge) when no space can be found.
+        """
+        if isinstance(msg, DataMessage):
+            self.purge_by(msg)
+        if self.is_full:
+            self.stats.rejected += 1
+            return False
+        self.append(msg)
+        return True
+
+    def pop(self) -> QueueEntry:
+        """Remove and return the head (Figure 1 t1: removeFirst)."""
+        if not self._items:
+            raise IndexError("pop from empty DeliveryQueue")
+        msg = self._items.pop(0)
+        if isinstance(msg, DataMessage):
+            self._mids.discard(msg.mid)
+        self.stats.popped += 1
+        return msg
+
+    # ------------------------------------------------------------------
+    # Purging
+    # ------------------------------------------------------------------
+
+    def purge(self) -> List[DataMessage]:
+        """Remove every same-view data message dominated by a queued one.
+
+        Returns the purged messages (useful for accounting and tests).
+        """
+        data = self.data_messages()
+        if len(data) < 2:
+            return []
+        removed = [
+            old
+            for old in data
+            if any(
+                new.view_id == old.view_id and self.relation.obsoletes(new, old)
+                for new in data
+                if new.mid != old.mid
+            )
+        ]
+        if removed:
+            self._remove_all(removed)
+        return removed
+
+    def purge_by(self, new: DataMessage) -> List[DataMessage]:
+        """Remove queued same-view data messages that ``new`` makes obsolete.
+
+        ``new`` need not be in the queue — this is the fast path used when
+        a single message arrives (appending it and running the full
+        :meth:`purge` is equivalent for transitive relations but O(n²)).
+        """
+        removed = [
+            old
+            for old in self._items
+            if isinstance(old, DataMessage)
+            and old.view_id == new.view_id
+            and old.mid != new.mid
+            and self.relation.obsoletes(new, old)
+        ]
+        if removed:
+            self._remove_all(removed)
+        return removed
+
+    def covered(self, msg: DataMessage) -> bool:
+        """True iff some queued message m' satisfies ``msg ⊑ m'``.
+
+        This is the Figure 1 t3 acceptance test (applied alongside the
+        delivered log by the protocol).
+        """
+        if msg.mid in self._mids:
+            return True
+        return any(
+            isinstance(other, DataMessage) and self.relation.covers(other, msg)
+            for other in self._items
+        )
+
+    def _remove_all(self, removed: Iterable[DataMessage]) -> None:
+        doomed = {m.mid for m in removed}
+        self._items = [
+            m
+            for m in self._items
+            if not (isinstance(m, DataMessage) and m.mid in doomed)
+        ]
+        self._mids -= doomed
+        self.stats.purged += len(doomed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cap = "∞" if self.capacity is None else str(self.capacity)
+        return f"DeliveryQueue(len={len(self._items)}/{cap})"

@@ -1,0 +1,166 @@
+"""Message and view types shared by the whole stack.
+
+The protocol of Figure 1 manipulates four kinds of messages:
+
+* ``[DATA, v, d]`` — application payloads tagged with the view they were
+  multicast in (:class:`DataMessage`);
+* ``[VIEW, v]`` — the control message announcing a new view through the
+  delivery queue (:class:`ViewDelivery`);
+* ``[INIT, v, l]`` — view-change initiation (:class:`InitMessage`);
+* ``[PRED, v, P]`` — the per-process set of messages accepted for delivery
+  in the closing view (:class:`PredMessage`).
+
+Messages are uniquely identified by ``(sender, sn)`` where ``sn`` is the
+per-sender sequence number assigned at multicast time — this is the
+identifier space every obsolescence representation builds on
+(Section 4.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Optional, Tuple
+
+__all__ = [
+    "MessageId",
+    "View",
+    "DataMessage",
+    "ViewDelivery",
+    "InitMessage",
+    "PredMessage",
+    "Envelope",
+]
+
+
+@dataclass(frozen=True, order=True)
+class MessageId:
+    """Globally unique message identifier: sender pid + per-sender seqno."""
+
+    sender: int
+    sn: int
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.sender}.{self.sn}"
+
+
+@dataclass(frozen=True)
+class View:
+    """A group view: numeric epoch plus the member set.
+
+    Views are totally ordered by ``vid``; the initial view has ``vid`` 0 by
+    convention.  Membership is a frozenset so views are hashable and can be
+    exchanged in protocol messages and consensus proposals.
+    """
+
+    vid: int
+    members: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if self.vid < 0:
+            raise ValueError(f"negative view id: {self.vid}")
+        object.__setattr__(self, "members", frozenset(self.members))
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    @property
+    def sorted_members(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.members))
+
+    def majority(self) -> int:
+        """Smallest number of members that constitutes a majority."""
+        return len(self.members) // 2 + 1
+
+    def without(self, pids: FrozenSet[int]) -> "View":
+        return View(self.vid, self.members - frozenset(pids))
+
+    def __repr__(self) -> str:
+        return f"View({self.vid}, {{{', '.join(map(str, self.sorted_members))}}})"
+
+
+@dataclass(frozen=True)
+class DataMessage:
+    """An application data message, ``[DATA, v, d]`` in Figure 1.
+
+    ``annotation`` carries the encoded obsolescence information supplied by
+    the application at multicast time (a tag, an enumeration set, or a
+    k-enumeration bitmap — interpreted by the configured
+    :class:`~repro.core.obsolescence.ObsolescenceRelation`).  The protocol
+    itself never inspects payloads; it only consults the relation, which is
+    what makes SVS application-independent (Section 3.2).
+    """
+
+    mid: MessageId
+    view_id: int
+    payload: Any = None
+    annotation: Any = None
+
+    @property
+    def sender(self) -> int:
+        return self.mid.sender
+
+    @property
+    def sn(self) -> int:
+        return self.mid.sn
+
+    def __repr__(self) -> str:
+        return f"Data({self.mid}@v{self.view_id})"
+
+
+@dataclass(frozen=True)
+class ViewDelivery:
+    """The ``[VIEW, v]`` control message placed in the delivery queue.
+
+    Applications observe membership changes by dequeuing these; they are
+    never purged and never counted as data.
+    """
+
+    view: View
+
+    def __repr__(self) -> str:
+        return f"ViewDelivery({self.view!r})"
+
+
+@dataclass(frozen=True)
+class InitMessage:
+    """``[INIT, v, l]``: start a view change for view ``view_id``.
+
+    ``leave`` is the set of processes that asked to leave (the ``l``
+    parameter of the trigger in Figure 1 t4).
+    """
+
+    view_id: int
+    leave: FrozenSet[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "leave", frozenset(self.leave))
+
+
+@dataclass(frozen=True)
+class PredMessage:
+    """``[PRED, v, P]``: the sender's accepted-message set for view ``view_id``.
+
+    ``messages`` is the ordered tuple of :class:`DataMessage` the sender has
+    accepted for delivery (``delivered`` plus ``to-deliver``) in the closing
+    view — Figure 1 t5.
+    """
+
+    view_id: int
+    messages: Tuple[DataMessage, ...]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Typed wrapper multiplexing sub-protocols over one network channel.
+
+    ``stream`` identifies the component ("svs", "consensus", "fd", ...);
+    ``instance`` optionally identifies a protocol instance within the stream
+    (e.g. the consensus instance for a particular view change).
+    """
+
+    stream: str
+    body: Any
+    instance: Optional[Any] = None

@@ -1,0 +1,354 @@
+"""Obsolescence relations and their wire representations.
+
+The obsolescence relation ``m ≺ m'`` ("m is made obsolete by m'") is the
+application-supplied input to Semantic View Synchrony.  It must be an
+*irreflexive partial order* — antisymmetric and transitive (Section 3.2).
+``m ⊑ m'`` abbreviates ``m = m' or m ≺ m'``.
+
+The paper proposes three representations (Section 4.2), all implemented
+here:
+
+* **Item tagging** (:class:`ItemTagging`): each message carries the integer
+  tag of the data item it updates; two messages from the same sender with
+  the same tag are related, the newer one making the older obsolete.
+* **Message enumeration** (:class:`MessageEnumeration`): each message
+  explicitly enumerates the identifiers of every (transitive) predecessor it
+  makes obsolete.  :class:`EnumerationEncoder` maintains the transitive
+  closure on the sender side.
+* **k-enumeration** (:class:`KEnumeration`): each message carries a k-bit
+  bitmap over its k immediate predecessors in the sender's stream; bit
+  ``d-1`` set means "the message d positions back is obsolete".  Transitive
+  closure is composed with shift/or (:class:`KEnumerationEncoder`), exactly
+  the cheap-operator scheme the paper advertises.
+
+A caveat the paper glosses over, preserved faithfully here: truncating the
+enumeration window (or choosing k too small) yields a relation that is *not*
+transitive for pairs further apart than the window.  Purging with a
+non-transitive relation can, in principle, break the coverage chain that the
+SVS correctness argument relies on.  The paper's guidance — pick k at twice
+the buffer size — makes this practically unobservable; the ablation
+benchmark ``benchmarks/test_bench_ablation_k.py`` quantifies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.message import DataMessage, MessageId
+
+__all__ = [
+    "ObsolescenceRelation",
+    "EmptyRelation",
+    "ItemTagging",
+    "MessageEnumeration",
+    "EnumerationEncoder",
+    "KEnumeration",
+    "KEnumerationEncoder",
+    "ExplicitRelation",
+    "check_strict_partial_order",
+]
+
+
+class ObsolescenceRelation:
+    """Interface the protocol uses to interrogate obsolescence.
+
+    Implementations decide ``obsoletes`` purely from message identifiers and
+    annotations — never from payloads — which is what keeps the protocol
+    application-independent.
+
+    ``same_sender_only`` declares that the relation can only relate
+    messages of the same sender — true for all of the paper's compact
+    representations, and exploited by the protocol to skip coverage scans
+    that FIFO channels make redundant.
+    """
+
+    same_sender_only = False
+
+    def obsoletes(self, new: DataMessage, old: DataMessage) -> bool:
+        """True iff ``old ≺ new`` (``new`` makes ``old`` obsolete)."""
+        raise NotImplementedError
+
+    def covers(self, new: DataMessage, old: DataMessage) -> bool:
+        """True iff ``old ⊑ new`` (equal, or made obsolete by ``new``)."""
+        return old.mid == new.mid or self.obsoletes(new, old)
+
+
+class EmptyRelation(ObsolescenceRelation):
+    """The empty relation: nothing is ever obsolete.
+
+    With this relation SVS degenerates to classic View Synchrony — the
+    paper's own observation that VS is the special case of SVS (Section
+    3.2).  The test suite uses this to check the protocol against the
+    classic VS specification.
+    """
+
+    same_sender_only = True
+
+    def obsoletes(self, new: DataMessage, old: DataMessage) -> bool:
+        return False
+
+
+class ItemTagging(ObsolescenceRelation):
+    """Per-item tagging (Section 4.2, "Item Tagging").
+
+    The annotation is the integer tag of the updated item, or ``None`` for
+    messages that must never be purged (creations, destructions, events).
+    Two messages are related iff they come from the same sender, carry the
+    same non-None tag, and the newer has the higher sequence number.
+
+    Strict partial order: irreflexivity and antisymmetry follow from the
+    strict ``sn`` comparison; transitivity from equality of tags.
+    """
+
+    same_sender_only = True
+
+    def obsoletes(self, new: DataMessage, old: DataMessage) -> bool:
+        if new.mid.sender != old.mid.sender:
+            return False
+        if new.annotation is None or old.annotation is None:
+            return False
+        return new.annotation == old.annotation and old.sn < new.sn
+
+
+class MessageEnumeration(ObsolescenceRelation):
+    """Explicit enumeration (Section 4.2, "Message Enumeration").
+
+    The annotation is a frozenset of :class:`MessageId` listing every
+    message the carrier makes obsolete — transitive predecessors included
+    (the sender-side :class:`EnumerationEncoder` maintains the closure).
+    Unlike the tag and bitmap schemes this representation can express
+    cross-item and cross-sender obsolescence.
+    """
+
+    def obsoletes(self, new: DataMessage, old: DataMessage) -> bool:
+        annotation = new.annotation
+        if not annotation:
+            return False
+        return old.mid in annotation and (
+            old.mid.sender != new.mid.sender or old.sn < new.sn
+        )
+
+
+class EnumerationEncoder:
+    """Sender-side helper producing transitively closed enumeration sets.
+
+    ``window`` optionally truncates the closure to the most recent ``window``
+    sequence numbers of the sender — the optimization the paper describes
+    ("only the recent messages from the enumeration need to be carried").
+    ``window=None`` keeps the exact closure.
+    """
+
+    def __init__(self, sender: int, window: Optional[int] = None) -> None:
+        if window is not None and window <= 0:
+            raise ValueError(f"window must be positive or None: {window}")
+        self.sender = sender
+        self.window = window
+        self._closure: Dict[MessageId, FrozenSet[MessageId]] = {}
+        self._next_sn = 0
+
+    def next_mid(self) -> MessageId:
+        mid = MessageId(self.sender, self._next_sn)
+        self._next_sn += 1
+        return mid
+
+    def annotate(
+        self, mid: MessageId, direct: Iterable[MessageId]
+    ) -> FrozenSet[MessageId]:
+        """Compute the annotation for ``mid`` given its direct predecessors.
+
+        The result is the union of the direct predecessors and their own
+        closures, truncated to the window.  The closure for ``mid`` is
+        remembered so later messages can build on it.
+        """
+        closed: Set[MessageId] = set()
+        for pred in direct:
+            if pred == mid:
+                raise ValueError("a message cannot obsolete itself")
+            closed.add(pred)
+            closed.update(self._closure.get(pred, frozenset()))
+        if self.window is not None:
+            horizon = mid.sn - self.window
+            closed = {
+                p for p in closed if p.sender != self.sender or p.sn >= horizon
+            }
+        annotation = frozenset(closed)
+        self._closure[mid] = annotation
+        self._gc(mid)
+        return annotation
+
+    def _gc(self, newest: MessageId) -> None:
+        """Forget closures that can no longer influence new annotations."""
+        if self.window is None:
+            return
+        horizon = newest.sn - 2 * self.window
+        stale = [m for m in self._closure if m.sender == self.sender and m.sn < horizon]
+        for m in stale:
+            del self._closure[m]
+
+
+class KEnumeration(ObsolescenceRelation):
+    """k-enumeration bitmaps (Section 4.2, "k-Enumeration").
+
+    The annotation is an integer bitmap over the sender's k immediately
+    preceding messages.  Following the paper: ``m ⊑ m'`` iff
+    ``m'.sn - k <= m.sn < m'.sn`` and bit ``m'.sn - m.sn`` of ``m'.bm`` is
+    set (we store distance d at bit position d-1).
+    """
+
+    same_sender_only = True
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive: {k}")
+        self.k = k
+
+    def obsoletes(self, new: DataMessage, old: DataMessage) -> bool:
+        if new.mid.sender != old.mid.sender:
+            return False
+        bitmap = new.annotation
+        if not bitmap:
+            return False
+        distance = new.sn - old.sn
+        if distance < 1 or distance > self.k:
+            return False
+        return bool((bitmap >> (distance - 1)) & 1)
+
+
+class KEnumerationEncoder:
+    """Sender-side bitmap construction with shift/or transitive composition.
+
+    For a new message at sequence number ``sn`` that directly obsoletes the
+    message at ``sn - d``, the encoder sets bit ``d-1`` and ORs in that
+    predecessor's own bitmap shifted left by ``d`` — so the closure within
+    the k-window is carried forward using only shifts and ors, the property
+    the paper highlights as making the scheme time- and space-efficient.
+
+    The same shift/or composition implements batch commits: the commit
+    message's bitmap is the OR of the shifted bitmaps each update in the
+    batch *would* have carried (see :mod:`repro.core.batch`).
+    """
+
+    def __init__(self, sender: int, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive: {k}")
+        self.sender = sender
+        self.k = k
+        self._bitmaps: Dict[int, int] = {}
+        self._next_sn = 0
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.k) - 1
+
+    def next_mid(self) -> MessageId:
+        mid = MessageId(self.sender, self._next_sn)
+        self._next_sn += 1
+        return mid
+
+    def compose(self, sn: int, direct: Iterable[int]) -> int:
+        """Bitmap for the message at ``sn`` with direct predecessors ``direct``.
+
+        Predecessors further back than k positions are silently dropped —
+        this is exactly the representation's window truncation.
+        """
+        bitmap = 0
+        for pred_sn in direct:
+            if pred_sn >= sn:
+                raise ValueError(
+                    f"predecessor sn {pred_sn} is not before message sn {sn}"
+                )
+            distance = sn - pred_sn
+            if distance > self.k:
+                continue
+            bitmap |= 1 << (distance - 1)
+            bitmap |= self._bitmaps.get(pred_sn, 0) << distance
+        return bitmap & self.mask
+
+    def annotate(self, sn: int, direct: Iterable[int]) -> int:
+        """Compose, record, and return the bitmap for the message at ``sn``."""
+        bitmap = self.compose(sn, direct)
+        self._bitmaps[sn] = bitmap
+        self._gc(sn)
+        return bitmap
+
+    def record(self, sn: int, bitmap: int) -> None:
+        """Record an externally composed bitmap (used by batch commits)."""
+        self._bitmaps[sn] = bitmap & self.mask
+        self._gc(sn)
+
+    def _gc(self, newest_sn: int) -> None:
+        horizon = newest_sn - self.k
+        stale = [s for s in self._bitmaps if s < horizon]
+        for s in stale:
+            del self._bitmaps[s]
+
+
+class ExplicitRelation(ObsolescenceRelation):
+    """A relation given extensionally as a set of (old, new) id pairs.
+
+    Intended for tests: pairs are transitively closed at construction so
+    the result is a legitimate strict partial order whenever the input is
+    acyclic (a cycle raises ``ValueError``).
+    """
+
+    def __init__(self, pairs: Iterable[Tuple[MessageId, MessageId]]) -> None:
+        edges: Dict[MessageId, Set[MessageId]] = {}
+        for old, new in pairs:
+            if old == new:
+                raise ValueError(f"self-obsolescence: {old}")
+            edges.setdefault(new, set()).add(old)
+        # Transitive closure by repeated expansion (inputs are test-sized).
+        changed = True
+        while changed:
+            changed = False
+            for new, olds in edges.items():
+                extra: Set[MessageId] = set()
+                for old in olds:
+                    extra.update(edges.get(old, ()))
+                extra -= olds
+                if extra:
+                    olds.update(extra)
+                    changed = True
+        for new, olds in edges.items():
+            if new in olds:
+                raise ValueError(f"obsolescence cycle through {new}")
+        self._preds: Dict[MessageId, FrozenSet[MessageId]] = {
+            new: frozenset(olds) for new, olds in edges.items()
+        }
+
+    def obsoletes(self, new: DataMessage, old: DataMessage) -> bool:
+        return old.mid in self._preds.get(new.mid, frozenset())
+
+
+def check_strict_partial_order(
+    relation: ObsolescenceRelation, messages: List[DataMessage]
+) -> List[str]:
+    """Check irreflexivity, antisymmetry and transitivity on a finite set.
+
+    Returns a list of human-readable violation descriptions (empty when the
+    relation restricted to ``messages`` is a strict partial order).  Used by
+    the property-based tests.
+    """
+    violations: List[str] = []
+    for m in messages:
+        if relation.obsoletes(m, m):
+            violations.append(f"irreflexivity: {m} obsoletes itself")
+    for a in messages:
+        for b in messages:
+            if a.mid == b.mid:
+                continue
+            ab = relation.obsoletes(b, a)
+            ba = relation.obsoletes(a, b)
+            if ab and ba:
+                violations.append(f"antisymmetry: {a} and {b} obsolete each other")
+    for a in messages:
+        for b in messages:
+            if not relation.obsoletes(b, a):
+                continue
+            for c in messages:
+                if relation.obsoletes(c, b) and not relation.obsoletes(c, a):
+                    violations.append(
+                        f"transitivity: {a} ≺ {b} ≺ {c} but not {a} ≺ {c}"
+                    )
+    return violations

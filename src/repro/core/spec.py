@@ -1,0 +1,293 @@
+"""Executable specification of SVS (Section 3.2 of the paper).
+
+The safety properties are checked over *recorded histories*: every multicast
+and every application-level delivery (data or view notification) of every
+process.  :class:`HistoryRecorder` plugs into
+:class:`~repro.core.svs.SVSListeners` so any simulation can be checked
+after the fact.
+
+Checked properties:
+
+* **Semantic View Synchrony** (:func:`check_svs`): if p installs views
+  v_i and v_{i+1} and delivers m in v_i, every q that installs both views
+  delivers some m' with ``m ⊑ m'`` before installing v_{i+1}.
+* **FIFO Semantic Reliability** (:func:`check_fifo_sr`): (i) per-sender
+  delivery order follows multicast order; (ii) when a process delivers m'
+  in v_i, every earlier message m of the same sender is ⊑-covered by its
+  deliveries before it installs v_{i+1}.
+* **Integrity** (:func:`check_integrity`): no creation, no duplication.
+* **View agreement** (:func:`check_view_agreement`): processes installing
+  the same view id agree on membership, and views install in increasing
+  order.
+* **Classic VS** (:func:`check_classic_vs`): with the empty relation,
+  co-installed segments must contain exactly the same message sets — the
+  paper's claim that SVS with an empty relation *is* VS.
+
+All checkers return a list of human-readable violations; an empty list
+means the property holds on the recorded run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.message import DataMessage, MessageId, View, ViewDelivery
+from repro.core.obsolescence import EmptyRelation, ObsolescenceRelation
+from repro.core.svs import SVSListeners
+
+__all__ = [
+    "HistoryRecorder",
+    "ProcessHistory",
+    "check_svs",
+    "check_fifo_sr",
+    "check_integrity",
+    "check_view_agreement",
+    "check_classic_vs",
+    "check_all",
+]
+
+QueueEntry = Union[DataMessage, ViewDelivery]
+
+
+@dataclass
+class ProcessHistory:
+    """Everything one process delivered, in order."""
+
+    pid: int
+    events: List[QueueEntry] = field(default_factory=list)
+
+    def installed_views(self) -> List[View]:
+        return [e.view for e in self.events if isinstance(e, ViewDelivery)]
+
+    def segments(self) -> Dict[int, List[DataMessage]]:
+        """Data deliveries grouped by the view they were delivered in.
+
+        Segment ``vid`` holds everything delivered between the installation
+        of view ``vid`` and the next view installation (or the end of the
+        history).  Data delivered before any view installation is grouped
+        under ``-1`` (a protocol bug if non-empty — the initial view is
+        announced through the queue before any data).
+        """
+        segments: Dict[int, List[DataMessage]] = {}
+        current = -1
+        for event in self.events:
+            if isinstance(event, ViewDelivery):
+                current = event.view.vid
+                segments.setdefault(current, [])
+            else:
+                segments.setdefault(current, []).append(event)
+        return segments
+
+
+class HistoryRecorder:
+    """Records multicasts and deliveries across a whole group run."""
+
+    def __init__(self) -> None:
+        self.multicasts: Dict[MessageId, DataMessage] = {}
+        self.multicast_order: Dict[int, List[DataMessage]] = {}
+        self.histories: Dict[int, ProcessHistory] = {}
+        self.excluded: Dict[int, View] = {}
+
+    # ------------------------------------------------------------------
+    # Recording hooks
+    # ------------------------------------------------------------------
+
+    def record_multicast(self, pid: int, msg: DataMessage) -> None:
+        self.multicasts[msg.mid] = msg
+        self.multicast_order.setdefault(msg.sender, []).append(msg)
+
+    def record_delivery(self, pid: int, entry: QueueEntry) -> None:
+        self.histories.setdefault(pid, ProcessHistory(pid)).events.append(entry)
+
+    def record_exclusion(self, pid: int, view: View) -> None:
+        self.excluded[pid] = view
+
+    def listeners(self) -> SVSListeners:
+        """Build SVS listeners wired into this recorder."""
+        return SVSListeners(
+            on_multicast=self.record_multicast,
+            on_deliver=self.record_delivery,
+            on_exclude=self.record_exclusion,
+        )
+
+    def history(self, pid: int) -> ProcessHistory:
+        return self.histories.setdefault(pid, ProcessHistory(pid))
+
+
+# ----------------------------------------------------------------------
+# Property checkers
+# ----------------------------------------------------------------------
+
+
+def _covered_in(
+    m: DataMessage, pool: Sequence[DataMessage], relation: ObsolescenceRelation
+) -> bool:
+    return any(other.mid == m.mid or relation.obsoletes(other, m) for other in pool)
+
+
+def check_svs(
+    recorder: HistoryRecorder, relation: ObsolescenceRelation
+) -> List[str]:
+    """The Semantic View Synchrony property (Section 3.2)."""
+    violations: List[str] = []
+    histories = list(recorder.histories.values())
+    segment_cache = {h.pid: h.segments() for h in histories}
+    installed_cache = {
+        h.pid: [v.vid for v in h.installed_views()] for h in histories
+    }
+    for p in histories:
+        p_installed = installed_cache[p.pid]
+        for vid in p_installed:
+            if vid + 1 not in p_installed:
+                continue  # p did not install the consecutive pair
+            p_segment = segment_cache[p.pid].get(vid, [])
+            for q in histories:
+                if q.pid == p.pid:
+                    continue
+                q_installed = installed_cache[q.pid]
+                if vid not in q_installed or vid + 1 not in q_installed:
+                    continue
+                # q's deliveries before installing vid+1 == segments <= vid.
+                q_pool: List[DataMessage] = []
+                for w in q_installed:
+                    if w <= vid:
+                        q_pool.extend(segment_cache[q.pid].get(w, []))
+                q_mids = {m.mid for m in q_pool}
+                for m in p_segment:
+                    if m.mid in q_mids:
+                        continue
+                    if not _covered_in(m, q_pool, relation):
+                        violations.append(
+                            f"SVS: {p.pid} delivered {m} in view {vid} but "
+                            f"{q.pid} installed view {vid + 1} without "
+                            f"covering it"
+                        )
+    return violations
+
+
+def check_fifo_sr(
+    recorder: HistoryRecorder, relation: ObsolescenceRelation
+) -> List[str]:
+    """FIFO Semantic Reliability, both clauses (Section 3.2)."""
+    violations: List[str] = []
+    for history in recorder.histories.values():
+        # Clause (i): per-sender delivery order = multicast (sn) order.
+        last_sn: Dict[int, int] = {}
+        for event in history.events:
+            if not isinstance(event, DataMessage):
+                continue
+            prev = last_sn.get(event.sender)
+            if prev is not None and event.sn <= prev:
+                violations.append(
+                    f"FIFO(i): {history.pid} delivered {event} after "
+                    f"sn {prev} of the same sender"
+                )
+            last_sn[event.sender] = event.sn
+
+        # Clause (ii): predecessors of a delivered message are covered
+        # before the next view installation.
+        delivered_so_far: List[DataMessage] = []
+        max_sn_from: Dict[int, int] = {}
+        installs_seen = 0
+        for event in history.events:
+            if isinstance(event, DataMessage):
+                delivered_so_far.append(event)
+                cur = max_sn_from.get(event.sender, -1)
+                if event.sn > cur:
+                    max_sn_from[event.sender] = event.sn
+                continue
+            installs_seen += 1
+            if installs_seen == 1:
+                continue  # the initial view has no preceding segment
+            for sender, sn_max in max_sn_from.items():
+                for m in recorder.multicast_order.get(sender, []):
+                    if m.sn >= sn_max:
+                        break
+                    if not _covered_in(m, delivered_so_far, relation):
+                        violations.append(
+                            f"FIFO(ii): {history.pid} installed view "
+                            f"#{installs_seen - 1} having delivered up to "
+                            f"sn {sn_max} of sender {sender} without "
+                            f"covering {m}"
+                        )
+    return violations
+
+
+def check_integrity(recorder: HistoryRecorder) -> List[str]:
+    """No creation, no duplication (Section 3.2)."""
+    violations: List[str] = []
+    for history in recorder.histories.values():
+        seen: Set[MessageId] = set()
+        for event in history.events:
+            if not isinstance(event, DataMessage):
+                continue
+            original = recorder.multicasts.get(event.mid)
+            if original is None:
+                violations.append(
+                    f"Integrity(no-creation): {history.pid} delivered "
+                    f"unknown message {event}"
+                )
+            elif original != event:
+                violations.append(
+                    f"Integrity(no-creation): {history.pid} delivered a "
+                    f"message differing from the multicast one: {event}"
+                )
+            if event.mid in seen:
+                violations.append(
+                    f"Integrity(no-duplication): {history.pid} delivered "
+                    f"{event} twice"
+                )
+            seen.add(event.mid)
+    return violations
+
+
+def check_view_agreement(recorder: HistoryRecorder) -> List[str]:
+    """Installed views with equal ids have equal membership; installation
+    order per process is strictly increasing and gap-free."""
+    violations: List[str] = []
+    by_vid: Dict[int, View] = {}
+    for history in recorder.histories.values():
+        previous: Optional[int] = None
+        for view in history.installed_views():
+            known = by_vid.get(view.vid)
+            if known is None:
+                by_vid[view.vid] = view
+            elif known.members != view.members:
+                violations.append(
+                    f"ViewAgreement: view {view.vid} installed with "
+                    f"memberships {sorted(known.members)} and "
+                    f"{sorted(view.members)}"
+                )
+            if previous is not None:
+                if view.vid <= previous:
+                    violations.append(
+                        f"ViewAgreement: {history.pid} installed view "
+                        f"{view.vid} after {previous}"
+                    )
+                elif view.vid != previous + 1:
+                    violations.append(
+                        f"ViewAgreement: {history.pid} skipped from view "
+                        f"{previous} to {view.vid}"
+                    )
+            previous = view.vid
+    return violations
+
+
+def check_classic_vs(recorder: HistoryRecorder) -> List[str]:
+    """Classic View Synchrony: identical delivery *sets* per co-installed
+    view segment — must hold whenever the relation is empty."""
+    empty = EmptyRelation()
+    return check_svs(recorder, empty)
+
+
+def check_all(
+    recorder: HistoryRecorder, relation: ObsolescenceRelation
+) -> List[str]:
+    """Run every safety checker; returns all violations found."""
+    violations: List[str] = []
+    violations.extend(check_svs(recorder, relation))
+    violations.extend(check_fifo_sr(recorder, relation))
+    violations.extend(check_integrity(recorder))
+    violations.extend(check_view_agreement(recorder))
+    return violations

@@ -1,0 +1,587 @@
+"""The Semantic View Synchrony protocol — Figure 1 of the paper.
+
+Each :class:`SVSProcess` keeps the state prescribed by the algorithm:
+
+* ``cv`` — the current view;
+* ``blocked`` — true while a view change is in progress;
+* ``to_deliver`` — the FIFO queue the application consumes from
+  (:class:`~repro.core.buffers.DeliveryQueue`, with semantic purging);
+* ``delivered`` — messages already consumed, kept per view because the
+  view-change protocol needs the current view's delivered set
+  (``local-pred``) and nothing older;
+* per closing view: ``global-pred``, ``pred-received`` and ``leave``.
+
+Transitions (names follow Figure 1):
+
+* **t1** ``deliver()`` — the application pulls the queue head;
+* **t2** ``multicast()`` — tag with the current view, self-append, send to
+  the other members, purge;
+* **t3** data reception — accept only messages of the current view while
+  unblocked and not already ⊑-covered; append and purge;
+* **t4** ``trigger_view_change()`` — flood INIT;
+* **t5** first INIT — forward the flood, block, compute and broadcast the
+  local predicate (all data accepted for delivery in this view);
+* **t6** PRED accumulation;
+* **t7** when every unsuspected member's PRED arrived and they form a
+  majority — run consensus on ``(next view, flush set)``; on decision,
+  flush missing messages, enqueue the VIEW notification, purge, unblock.
+
+Two deliberate, documented deviations from the paper's pseudo-code:
+
+1. The t7 flush guard uses ⊑-*coverage* against ``to-deliver ∪ delivered``
+   rather than plain set membership.  With plain membership a process that
+   purged ``m`` (covered by an ``m'`` it has already delivered) would
+   re-accept ``m`` from the flush set and deliver it *after* ``m'``,
+   violating the protocol's own FIFO clause.  Coverage is what t3 uses and
+   is clearly the intent.
+2. Flushed messages are appended in ``(sender, sn)`` order so that
+   per-sender FIFO holds among messages a process had not seen before the
+   flush.  The pseudo-code's ``OrderedSetOfMessages`` leaves this implicit.
+
+Both deviations are exercised by regression tests in
+``tests/core/test_svs_protocol.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.consensus.interface import CONSENSUS_STREAM, ConsensusFactory, ConsensusInstance
+from repro.core.buffers import DeliveryQueue
+from repro.core.message import (
+    DataMessage,
+    Envelope,
+    InitMessage,
+    MessageId,
+    PredMessage,
+    View,
+    ViewDelivery,
+)
+from repro.core.obsolescence import ObsolescenceRelation
+from repro.fd.detector import FD_STREAM, FailureDetector
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.process import ProcessId, SimProcess
+
+__all__ = ["SVS_STREAM", "SVSListeners", "SVSProcess"]
+
+SVS_STREAM = "svs"
+
+QueueEntry = Union[DataMessage, ViewDelivery]
+
+
+@dataclass
+class SVSListeners:
+    """Observer hooks, used by the spec recorder and the metrics layer.
+
+    All are optional; the protocol never depends on them.
+    """
+
+    on_multicast: Optional[Callable[[ProcessId, DataMessage], None]] = None
+    on_deliver: Optional[Callable[[ProcessId, QueueEntry], None]] = None
+    on_install: Optional[Callable[[ProcessId, View], None]] = None
+    on_exclude: Optional[Callable[[ProcessId, View], None]] = None
+    on_flush: Optional[Callable[[ProcessId, int, int], None]] = None
+    """on_flush(pid, flush_set_size, messages_actually_added)."""
+
+    on_pred: Optional[Callable[[ProcessId, int], None]] = None
+    """on_pred(pid, local_pred_size) — fired at t5; measures the view-change
+    payload (the stability-tracking ablation compares these)."""
+
+
+class SVSProcess(SimProcess):
+    """One group member running the Figure 1 protocol.
+
+    Parameters
+    ----------
+    initial_view:
+        The first view; every member must be constructed with the same one.
+    relation:
+        The obsolescence relation.  Pass
+        :class:`~repro.core.obsolescence.EmptyRelation` to obtain classic
+        View Synchrony — the protocol then never purges (the paper's
+        reduction of VS to SVS).
+    consensus_factory:
+        ``factory(owner, key, participants, on_decide)`` returning a
+        :class:`~repro.consensus.interface.ConsensusInstance`; the key is
+        the id of the view being closed.
+    fd:
+        Failure detector consulted by the t7 guard.  May be given either as
+        an instance (shared oracle) or as a one-argument factory called
+        with this process (heartbeat detectors need their owner).
+    stability_interval:
+        When set, enables stability tracking (see
+        :mod:`repro.gcs.stability`): watermark gossip every
+        ``stability_interval`` seconds, pruning of group-stable messages
+        from the delivered map and from the t5 local predicate.  ``None``
+        (default) reproduces the paper's Figure 1 exactly.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        sim: Simulator,
+        network: Network,
+        initial_view: View,
+        relation: ObsolescenceRelation,
+        consensus_factory: ConsensusFactory,
+        fd: Union[FailureDetector, Callable[[SimProcess], FailureDetector]],
+        listeners: Optional[SVSListeners] = None,
+        stability_interval: Optional[float] = None,
+    ) -> None:
+        super().__init__(pid, sim, network)
+        if not isinstance(fd, FailureDetector):
+            fd = fd(self)
+        self.relation = relation
+        self.fd = fd
+        self.listeners = listeners or SVSListeners()
+        self._consensus_factory = consensus_factory
+
+        self.cv: View = initial_view
+        self.blocked = False
+        self.excluded = False
+        self.to_deliver = DeliveryQueue(relation)
+        # Data messages already delivered, keyed by the view they belong to.
+        self._delivered: Dict[int, Dict[MessageId, DataMessage]] = {}
+        self._next_sn = 0
+
+        # Per-closing-view protocol state (Figure 1 declares one instance
+        # of each "for each view").
+        self._global_pred: Dict[int, Dict[MessageId, DataMessage]] = {}
+        self._pred_received: Dict[int, Set[ProcessId]] = {}
+        self._leave: Dict[int, FrozenSet[ProcessId]] = {}
+        self._proposed: Set[int] = set()
+        self._consensus: Dict[int, ConsensusInstance] = {}
+        self._pending_consensus: Dict[int, List[Tuple[ProcessId, Any]]] = {}
+
+        # Whether the relation can relate messages of different senders —
+        # decides whether t3 needs the full coverage scan (same-sender
+        # relations cannot have a coverer arrive before the covered message
+        # on FIFO channels, so id checks suffice).
+        self._cross_sender = not relation.same_sender_only
+
+        # Optional stability tracking (see repro.gcs.stability).
+        self.stability_interval = stability_interval
+        self._stability: Optional["StabilityState"] = None
+        if stability_interval is not None:
+            from repro.gcs.stability import StabilityState, WatermarkTracker
+
+            if stability_interval <= 0:
+                raise ValueError("stability_interval must be positive")
+            self._stability = StabilityState(pid, WatermarkTracker())
+            self.set_timer(
+                "stability", stability_interval, self._broadcast_stability
+            )
+
+        fd.subscribe(self._on_suspicion_change)
+        # The application observes membership through the queue, so the
+        # initial view is announced like any other.
+        self.to_deliver.append(ViewDelivery(initial_view))
+
+    # ------------------------------------------------------------------
+    # t1 — application delivery (down-call)
+    # ------------------------------------------------------------------
+
+    def deliver(self) -> Optional[QueueEntry]:
+        """Pop and return the next deliverable entry, or None if empty.
+
+        Data messages move to the per-view delivered set; view messages
+        mark the application-level view installation.
+        """
+        if not self.to_deliver:
+            return None
+        entry = self.to_deliver.pop()
+        if isinstance(entry, DataMessage):
+            self._delivered.setdefault(entry.view_id, {})[entry.mid] = entry
+        if self.listeners.on_deliver is not None:
+            self.listeners.on_deliver(self.pid, entry)
+        return entry
+
+    def drain(self) -> List[QueueEntry]:
+        """Deliver everything currently queued (test convenience)."""
+        out: List[QueueEntry] = []
+        while self.to_deliver:
+            entry = self.deliver()
+            assert entry is not None
+            out.append(entry)
+        return out
+
+    @property
+    def pending(self) -> int:
+        """Entries waiting in the delivery queue."""
+        return len(self.to_deliver)
+
+    # ------------------------------------------------------------------
+    # t2 — multicast
+    # ------------------------------------------------------------------
+
+    def multicast(self, payload: Any, annotation: Any = None) -> Optional[DataMessage]:
+        """Multicast ``payload`` in the current view.
+
+        Returns the sent message, or None when the guard fails (blocked,
+        excluded, crashed, or not a member) — callers may retry after the
+        next view installation.
+        """
+        if self.crashed or self.blocked or self.excluded or self.pid not in self.cv:
+            return None
+        mid = MessageId(self.pid, self._next_sn)
+        self._next_sn += 1
+        msg = DataMessage(
+            mid=mid, view_id=self.cv.vid, payload=payload, annotation=annotation
+        )
+        self.to_deliver.append(msg)
+        for member in self.cv.members:
+            if member != self.pid:
+                self.send(member, Envelope(stream=SVS_STREAM, body=msg))
+        self.to_deliver.purge_by(msg)
+        self._note_processed(msg)
+        if self.listeners.on_multicast is not None:
+            self.listeners.on_multicast(self.pid, msg)
+        return msg
+
+    # ------------------------------------------------------------------
+    # t4 — view change trigger
+    # ------------------------------------------------------------------
+
+    def trigger_view_change(self, leave: Iterable[ProcessId] = ()) -> None:
+        """Initiate a view change (t4), optionally removing ``leave``.
+
+        Possible external causes per Section 3.2: failure suspicions,
+        buffer shortage, voluntary leaves.  Idempotent while blocked.
+        """
+        if self.crashed or self.excluded or self.pid not in self.cv:
+            return
+        init = InitMessage(self.cv.vid, frozenset(leave))
+        for member in self.cv.members:
+            if member == self.pid:
+                self.sim.schedule(0.0, self._handle_init, self.pid, init)
+            else:
+                self.send(member, Envelope(stream=SVS_STREAM, body=init))
+
+    # ------------------------------------------------------------------
+    # Message routing
+    # ------------------------------------------------------------------
+
+    def on_message(self, sender: ProcessId, payload: Any) -> None:
+        if not isinstance(payload, Envelope):
+            raise TypeError(f"unexpected raw payload: {payload!r}")
+        if payload.stream == SVS_STREAM:
+            body = payload.body
+            if isinstance(body, DataMessage):
+                self._handle_data(sender, body)
+            elif isinstance(body, InitMessage):
+                self._handle_init(sender, body)
+            elif isinstance(body, PredMessage):
+                self._handle_pred(sender, body)
+            elif self._stability is not None and _is_stable_message(body):
+                self._handle_stable(sender, body)
+            else:
+                raise TypeError(f"unknown SVS message: {body!r}")
+        elif payload.stream == CONSENSUS_STREAM:
+            self._route_consensus(sender, payload.instance, payload.body)
+        elif payload.stream == FD_STREAM:
+            handler = getattr(self.fd, "on_message", None)
+            if handler is not None:
+                handler(sender, payload.body)
+        else:
+            self.on_other_stream(sender, payload)
+
+    def on_other_stream(self, sender: ProcessId, envelope: Envelope) -> None:
+        """Extension point for subclasses multiplexing extra streams."""
+        raise TypeError(f"unknown stream: {envelope.stream!r}")
+
+    # ------------------------------------------------------------------
+    # t3 — data reception
+    # ------------------------------------------------------------------
+
+    def _handle_data(self, sender: ProcessId, msg: DataMessage) -> None:
+        if self.blocked or self.excluded or msg.view_id != self.cv.vid:
+            return
+        # Accepted or dropped-as-covered, the message is *processed*: its
+        # delivery obligation is dischargeable locally.
+        self._note_processed(msg)
+        if self._covered(msg):
+            return
+        self.to_deliver.append(msg)
+        # Only the arriving message can introduce new dominations, so the
+        # single-message purge equals Figure 1's full purge here.
+        self.to_deliver.purge_by(msg)
+
+    def _covered(self, msg: DataMessage, deep: Optional[bool] = None) -> bool:
+        """Is ``msg`` ⊑-covered by the messages accepted for delivery?
+
+        ``deep`` forces the full relation scan.  At t3 reception the scan
+        is skipped for same-sender-only relations (a coverer cannot
+        precede the covered message on a FIFO channel, so the id checks
+        are complete); the installation flush must always scan — a message
+        this process purged earlier may reappear in the flush set *after*
+        its coverer was delivered, and re-accepting it would violate FIFO.
+        """
+        if deep is None:
+            deep = self._cross_sender
+        if self.to_deliver.contains_mid(msg.mid):
+            return True
+        delivered = self._delivered.get(msg.view_id, {})
+        if msg.mid in delivered:
+            return True
+        if not deep:
+            return False
+        if self.to_deliver.covered(msg):
+            return True
+        return any(self.relation.covers(other, msg) for other in delivered.values())
+
+    # ------------------------------------------------------------------
+    # t5 — INIT handling
+    # ------------------------------------------------------------------
+
+    def _handle_init(self, sender: ProcessId, init: InitMessage) -> None:
+        if self.blocked or self.excluded or init.view_id != self.cv.vid:
+            return
+        if self.pid not in self.cv:
+            return
+        # Forward the flood so every correct member blocks (t5).
+        if sender != self.pid:
+            fwd = Envelope(stream=SVS_STREAM, body=init)
+            for member in self.cv.members:
+                if member != self.pid:
+                    self.send(member, fwd)
+        self.blocked = True
+        vid = self.cv.vid
+        self._leave[vid] = frozenset(init.leave) & self.cv.members
+        local_pred = self._local_pred(vid)
+        if self.listeners.on_pred is not None:
+            self.listeners.on_pred(self.pid, len(local_pred))
+        pred = PredMessage(vid, tuple(local_pred))
+        for member in self.cv.members:
+            if member == self.pid:
+                self.sim.schedule(0.0, self._handle_pred, self.pid, pred)
+            else:
+                self.send(member, Envelope(stream=SVS_STREAM, body=pred))
+
+    def _local_pred(self, vid: int) -> List[DataMessage]:
+        """All data of view ``vid`` this process accepted for delivery.
+
+        With stability tracking, group-stable messages are omitted: every
+        member has them accounted for, so they need no flush coverage.
+        """
+        out = list(self._delivered.get(vid, {}).values())
+        out.extend(self.to_deliver.data_in_view(vid))
+        if self._stability is None:
+            return out
+        return [m for m in out if m.sn > self._stable_sn(m.sender)]
+
+    # ------------------------------------------------------------------
+    # t6 — PRED accumulation
+    # ------------------------------------------------------------------
+
+    def _handle_pred(self, sender: ProcessId, pred: PredMessage) -> None:
+        if self.crashed or self.excluded or pred.view_id != self.cv.vid:
+            return
+        bucket = self._global_pred.setdefault(pred.view_id, {})
+        for msg in pred.messages:
+            bucket.setdefault(msg.mid, msg)
+        self._pred_received.setdefault(pred.view_id, set()).add(sender)
+        self._check_t7()
+
+    # ------------------------------------------------------------------
+    # t7 — propose, decide, install
+    # ------------------------------------------------------------------
+
+    def _check_t7(self) -> None:
+        if not self.blocked or self.excluded or self.crashed:
+            return
+        vid = self.cv.vid
+        if vid in self._proposed:
+            return
+        received = self._pred_received.get(vid, set())
+        if len(received) <= len(self.cv) // 2:
+            return
+        if any(
+            member not in received and not self.fd.suspects(member)
+            for member in self.cv.members
+        ):
+            return
+        self._proposed.add(vid)
+        next_members = frozenset(received) - self._leave.get(vid, frozenset())
+        proposal_view = View(vid + 1, next_members)
+        flush = tuple(
+            sorted(
+                self._global_pred.get(vid, {}).values(),
+                key=lambda m: (m.mid.sender, m.mid.sn),
+            )
+        )
+        instance = self._consensus_for(vid)
+        instance.propose((proposal_view, flush))
+
+    def _consensus_for(self, vid: int) -> ConsensusInstance:
+        instance = self._consensus.get(vid)
+        if instance is None:
+            instance = self._consensus_factory(
+                self,
+                vid,
+                tuple(sorted(self.cv.members)),
+                lambda decision, v=vid: self._on_decision(v, decision),
+            )
+            self._consensus[vid] = instance
+            for sender, body in self._pending_consensus.pop(vid, []):
+                instance.on_message(sender, body)
+        return instance
+
+    def _route_consensus(self, sender: ProcessId, key: Any, body: Any) -> None:
+        if self.excluded:
+            return
+        vid = int(key)
+        if vid == self.cv.vid:
+            self._consensus_for(vid).on_message(sender, body)
+        elif vid > self.cv.vid:
+            # Consensus traffic for a view we have not installed yet —
+            # buffer until our own installation catches up.
+            self._pending_consensus.setdefault(vid, []).append((sender, body))
+        elif vid in self._consensus:
+            # Late traffic for a closed view (e.g. a forwarded DECIDE).
+            self._consensus[vid].on_message(sender, body)
+
+    def _on_decision(self, vid: int, decision: Tuple[View, Tuple[DataMessage, ...]]) -> None:
+        if self.crashed or self.excluded or vid != self.cv.vid:
+            return
+        next_view, flush = decision
+        if self.pid not in next_view:
+            self.excluded = True
+            self.blocked = True
+            if self.listeners.on_exclude is not None:
+                self.listeners.on_exclude(self.pid, next_view)
+            return
+        added = 0
+        for msg in sorted(flush, key=lambda m: (m.mid.sender, m.mid.sn)):
+            self._note_processed(msg)
+            # Group-stable messages are accounted for everywhere; pruning
+            # may have removed their local coverers, so skip them first.
+            if self._stability is not None and msg.sn <= self._stable_sn(
+                msg.sender
+            ):
+                continue
+            # Coverage (not membership) guard — deviation #1, see module
+            # docs — with the full scan forced: a locally purged message
+            # may be in the flush set while only its coverer remains here.
+            if not self._covered(msg, deep=True):
+                self.to_deliver.append(msg)
+                added += 1
+        self.to_deliver.purge()
+        self.to_deliver.append(ViewDelivery(next_view))
+        if self.listeners.on_flush is not None:
+            self.listeners.on_flush(self.pid, len(flush), added)
+
+        old_vid = self.cv.vid
+        departed = self.cv.members - next_view.members
+        self.cv = next_view
+        self.blocked = False
+        # State of closed views can never be consulted again.
+        self._delivered.pop(old_vid, None)
+        self._global_pred.pop(old_vid, None)
+        self._pred_received.pop(old_vid, None)
+        self._leave.pop(old_vid, None)
+        if self._stability is not None:
+            # Departed senders may leave permanent gaps (messages nobody
+            # received); the boundary discharges their obligations.
+            for sender in departed:
+                self._stability.tracker.seal(sender)
+                self._stability.forget_peer(sender)
+        if self.listeners.on_install is not None:
+            self.listeners.on_install(self.pid, next_view)
+        # Consensus traffic for the view we just installed may have been
+        # buffered by _route_consensus; it is drained when the instance is
+        # created (first message for the new view, or our own t7).
+
+    # ------------------------------------------------------------------
+    # Stability tracking (optional; see repro.gcs.stability)
+    # ------------------------------------------------------------------
+
+    def _note_processed(self, msg: DataMessage) -> None:
+        if self._stability is not None:
+            self._stability.tracker.note(msg.mid.sender, msg.sn)
+
+    def _stable_sn(self, sender: ProcessId) -> int:
+        assert self._stability is not None
+        return self._stability.stable_sn(sender, self.cv.members)
+
+    def _broadcast_stability(self) -> None:
+        if self.crashed or self.excluded or self._stability is None:
+            return
+        from repro.gcs.stability import StableMessage
+
+        report = StableMessage(
+            self.cv.vid, self._stability.tracker.snapshot()
+        )
+        for member in self.cv.members:
+            if member != self.pid:
+                self.send(member, Envelope(stream=SVS_STREAM, body=report))
+        self.set_timer(
+            "stability", self.stability_interval, self._broadcast_stability
+        )
+
+    def _handle_stable(self, sender: ProcessId, report: Any) -> None:
+        if self.excluded or self._stability is None:
+            return
+        self._stability.record_report(sender, report.watermarks)
+        self._gc_stable()
+
+    def _gc_stable(self) -> None:
+        """Prune group-stable messages from the delivered map."""
+        assert self._stability is not None
+        delivered = self._delivered.get(self.cv.vid)
+        if not delivered:
+            return
+        bounds: Dict[ProcessId, int] = {}
+        doomed = []
+        for mid in delivered:
+            bound = bounds.get(mid.sender)
+            if bound is None:
+                bound = self._stable_sn(mid.sender)
+                bounds[mid.sender] = bound
+            if mid.sn <= bound:
+                doomed.append(mid)
+        for mid in doomed:
+            del delivered[mid]
+
+    # ------------------------------------------------------------------
+    # Failure detector feedback
+    # ------------------------------------------------------------------
+
+    def _on_suspicion_change(self, pid: ProcessId, suspected: bool) -> None:
+        if suspected:
+            self._check_t7()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def purge_count(self) -> int:
+        return self.to_deliver.stats.purged
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "blocked" if self.blocked else "open"
+        if self.excluded:
+            state = "excluded"
+        if self.crashed:
+            state = "crashed"
+        return f"SVSProcess(pid={self.pid}, view={self.cv.vid}, {state})"
+
+
+def _is_stable_message(body: Any) -> bool:
+    from repro.gcs.stability import StableMessage
+
+    return isinstance(body, StableMessage)

@@ -1,0 +1,17 @@
+"""Unreliable failure detectors (Chandra–Toueg style)."""
+
+from repro.fd.detector import (
+    FD_STREAM,
+    FailureDetector,
+    Heartbeat,
+    HeartbeatFailureDetector,
+    OracleFailureDetector,
+)
+
+__all__ = [
+    "FailureDetector",
+    "Heartbeat",
+    "HeartbeatFailureDetector",
+    "OracleFailureDetector",
+    "FD_STREAM",
+]

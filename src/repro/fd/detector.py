@@ -1,0 +1,235 @@
+"""Failure detectors.
+
+The paper's system model (Section 3.1) is the asynchronous model augmented
+with an unreliable failure detector in the Chandra–Toueg sense.  Two
+implementations are provided:
+
+* :class:`HeartbeatFailureDetector` — the realistic one: every monitored
+  process periodically multicasts heartbeats; a peer is suspected when no
+  heartbeat arrives within the current timeout.  A false suspicion (a
+  heartbeat from a suspected peer) lifts the suspicion and *increases* the
+  timeout, giving the eventually-perfect (◇P) behaviour that Chandra–Toueg
+  consensus needs for liveness.
+* :class:`OracleFailureDetector` — a test/experiment convenience that knows
+  the ground truth: a process is suspected exactly ``detection_delay`` after
+  it actually crashes.  Zero network cost, never wrong, fully deterministic.
+
+Both expose the same query/subscription interface (:class:`FailureDetector`),
+so the consensus and SVS layers are agnostic to which one they run over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.core.message import Envelope
+from repro.sim.kernel import Simulator
+from repro.sim.process import ProcessId, SimProcess
+
+__all__ = [
+    "FailureDetector",
+    "Heartbeat",
+    "HeartbeatFailureDetector",
+    "OracleFailureDetector",
+]
+
+#: callback(pid, suspected) — invoked on every suspicion status change.
+SuspicionListener = Callable[[ProcessId, bool], None]
+
+FD_STREAM = "fd"
+
+
+class FailureDetector:
+    """Query/subscription interface shared by all detector implementations."""
+
+    def suspects(self, pid: ProcessId) -> bool:
+        raise NotImplementedError
+
+    def suspected(self) -> FrozenSet[ProcessId]:
+        raise NotImplementedError
+
+    def subscribe(self, listener: SuspicionListener) -> None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """The periodic liveness beacon; ``epoch`` counts beats for debugging."""
+
+    epoch: int
+
+
+class _ListenerMixin:
+    def __init__(self) -> None:
+        self._listeners: List[SuspicionListener] = []
+        self._suspected: Set[ProcessId] = set()
+
+    def subscribe(self, listener: SuspicionListener) -> None:
+        self._listeners.append(listener)
+
+    def suspects(self, pid: ProcessId) -> bool:
+        return pid in self._suspected
+
+    def suspected(self) -> FrozenSet[ProcessId]:
+        return frozenset(self._suspected)
+
+    def _set_suspected(self, pid: ProcessId, flag: bool) -> None:
+        if flag and pid not in self._suspected:
+            self._suspected.add(pid)
+        elif not flag and pid in self._suspected:
+            self._suspected.discard(pid)
+        else:
+            return
+        for listener in list(self._listeners):
+            listener(pid, flag)
+
+
+class HeartbeatFailureDetector(_ListenerMixin, FailureDetector):
+    """Heartbeat-based eventually-perfect detector component.
+
+    Owned by a :class:`~repro.sim.process.SimProcess`; the owner must route
+    incoming :class:`~repro.core.message.Envelope` messages with stream
+    ``"fd"`` into :meth:`on_message`.
+
+    Parameters
+    ----------
+    owner:
+        The process this detector runs inside.
+    period:
+        Heartbeat emission period.
+    timeout:
+        Initial suspicion timeout; must exceed ``period`` plus the one-way
+        network latency or everybody is suspected immediately.
+    backoff:
+        Added to a peer's timeout each time it is falsely suspected —
+        the standard trick that makes the detector eventually perfect under
+        unknown-but-finite delays.
+    """
+
+    def __init__(
+        self,
+        owner: SimProcess,
+        period: float = 0.05,
+        timeout: float = 0.25,
+        backoff: float = 0.05,
+    ) -> None:
+        if period <= 0 or timeout <= 0 or backoff < 0:
+            raise ValueError("period/timeout must be positive, backoff >= 0")
+        _ListenerMixin.__init__(self)
+        self.owner = owner
+        self.period = period
+        self.initial_timeout = timeout
+        self.backoff = backoff
+        self._peers: Set[ProcessId] = set()
+        self._timeouts: Dict[ProcessId, float] = {}
+        self._deadline_timer_armed = False
+        self._last_heard: Dict[ProcessId, float] = {}
+        self._epoch = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def monitor(self, peers: Iterable[ProcessId]) -> None:
+        """Set the peer set to watch (excluding the owner itself)."""
+        now = self.owner.sim.now
+        new_peers = {p for p in peers if p != self.owner.pid}
+        for p in new_peers - self._peers:
+            self._last_heard[p] = now
+            self._timeouts.setdefault(p, self.initial_timeout)
+        for p in self._peers - new_peers:
+            self._last_heard.pop(p, None)
+            self._suspected.discard(p)
+        self._peers = new_peers
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._emit()
+        self._check()
+
+    # ------------------------------------------------------------------
+    # Heartbeat emission and checking (driven by owner timers)
+    # ------------------------------------------------------------------
+
+    def _emit(self) -> None:
+        if self.owner.crashed:
+            return
+        beat = Envelope(stream=FD_STREAM, body=Heartbeat(self._epoch))
+        self._epoch += 1
+        for peer in self._peers:
+            self.owner.send(peer, beat)
+        self.owner.set_timer("fd-emit", self.period, self._emit)
+
+    def _check(self) -> None:
+        if self.owner.crashed:
+            return
+        now = self.owner.sim.now
+        for peer in self._peers:
+            deadline = self._last_heard.get(peer, now) + self._timeouts.get(
+                peer, self.initial_timeout
+            )
+            if now >= deadline:
+                self._set_suspected(peer, True)
+        # Re-check at heartbeat granularity; cheap and deterministic.
+        self.owner.set_timer("fd-check", self.period, self._check)
+
+    # ------------------------------------------------------------------
+    # Incoming heartbeats
+    # ------------------------------------------------------------------
+
+    def on_message(self, sender: ProcessId, body: Heartbeat) -> None:
+        if sender not in self._peers:
+            return
+        self._last_heard[sender] = self.owner.sim.now
+        if self.suspects(sender):
+            # False suspicion: recant and back off this peer's timeout.
+            self._timeouts[sender] = (
+                self._timeouts.get(sender, self.initial_timeout) + self.backoff
+            )
+            self._set_suspected(sender, False)
+
+
+class OracleFailureDetector(_ListenerMixin, FailureDetector):
+    """Ground-truth detector: suspects exactly ``detection_delay`` after a crash.
+
+    Implemented as a periodic scan over a pid→process mapping so it needs
+    no cooperation from the processes.  Deterministic and message-free,
+    which keeps protocol traces clean in unit tests.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        processes: Dict[ProcessId, SimProcess],
+        detection_delay: float = 0.1,
+        scan_period: float = 0.01,
+    ) -> None:
+        if detection_delay < 0 or scan_period <= 0:
+            raise ValueError("delay must be >= 0 and scan period positive")
+        _ListenerMixin.__init__(self)
+        self.sim = sim
+        self.processes = processes
+        self.detection_delay = detection_delay
+        self.scan_period = scan_period
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._scan()
+
+    def _scan(self) -> None:
+        now = self.sim.now
+        for pid, proc in self.processes.items():
+            if (
+                proc.crashed
+                and proc.crash_time is not None
+                and now >= proc.crash_time + self.detection_delay
+            ):
+                self._set_suspected(pid, True)
+        self.sim.schedule(self.scan_period, self._scan)

@@ -1,0 +1,132 @@
+"""Stability tracking: garbage collection of accounted messages.
+
+The paper notes (Section 2.1) that reliable protocols must buffer messages
+"until they have been acknowledged by all group members" — i.e. until they
+are *stable* — and that stability tracking is itself sensitive to
+perturbations.  The Figure 1 pseudo-code sidesteps the issue by keeping
+every message of the current view in ``delivered``, which makes the PRED
+exchange grow linearly with view lifetime.  Real group communication
+systems track stability and prune; this module adds that machinery as an
+opt-in component (`stability_interval` on :class:`~repro.core.svs.SVSProcess`).
+
+Design
+------
+
+Each process maintains, per sender, the highest *contiguously processed*
+sequence number — its **watermark**.  A message counts as processed when it
+is accepted for delivery, dropped as ⊑-covered (the coverer discharges its
+obligation), or added/covered during an installation flush.  Watermarks are
+gossiped periodically in STABLE messages; the per-sender minimum over the
+current membership is the **stable bound**: every member has every message
+at or below it accounted for.
+
+Stable messages can then be
+
+* pruned from the per-view ``delivered`` map (bounding memory), and
+* omitted from ``local-pred`` at t5 (bounding PRED size and hence
+  view-change cost),
+
+without weakening Semantic View Synchrony: a stable message needs no
+retransmission — every member already delivered it or holds a covering
+chain that will be delivered before the next view installation.
+
+Senders that leave the view (crash or exclusion) can leave permanent gaps
+(messages nobody received); their watermark is *sealed* to the highest
+processed sn at the next installation, since the view boundary discharges
+all outstanding obligations for departed senders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set
+
+__all__ = ["StableMessage", "WatermarkTracker", "StabilityState"]
+
+
+@dataclass(frozen=True)
+class StableMessage:
+    """Periodic gossip carrying the sender's per-stream watermarks."""
+
+    view_id: int
+    watermarks: Mapping[int, int]
+
+
+class WatermarkTracker:
+    """Per-sender contiguous-prefix tracking with out-of-order holding.
+
+    ``note(sender, sn)`` records one processed message; the watermark for
+    each sender is the largest W with every sn ≤ W processed.  FIFO
+    channels make out-of-order notes rare (only installation flushes), so
+    the pending sets stay tiny.
+    """
+
+    def __init__(self) -> None:
+        self._watermark: Dict[int, int] = {}
+        self._pending: Dict[int, Set[int]] = {}
+        self._highest: Dict[int, int] = {}
+
+    def note(self, sender: int, sn: int) -> None:
+        high = self._highest.get(sender, -1)
+        if sn > high:
+            self._highest[sender] = sn
+        mark = self._watermark.get(sender, -1)
+        if sn <= mark:
+            return
+        pending = self._pending.setdefault(sender, set())
+        pending.add(sn)
+        while mark + 1 in pending:
+            mark += 1
+            pending.discard(mark)
+        self._watermark[sender] = mark
+
+    def watermark(self, sender: int) -> int:
+        return self._watermark.get(sender, -1)
+
+    def seal(self, sender: int) -> None:
+        """Forgive gaps for a departed sender: jump to the highest sn seen."""
+        high = self._highest.get(sender, -1)
+        if high > self._watermark.get(sender, -1):
+            self._watermark[sender] = high
+        self._pending.pop(sender, None)
+
+    def snapshot(self) -> Dict[int, int]:
+        return dict(self._watermark)
+
+    def senders(self) -> Iterable[int]:
+        return self._watermark.keys()
+
+
+class StabilityState:
+    """A process's view of group-wide stability.
+
+    Aggregates peer watermark reports; ``stable_sn(sender)`` is the
+    min-over-members bound below which messages are group-stable.
+    """
+
+    def __init__(self, own_pid: int, tracker: WatermarkTracker) -> None:
+        self.own_pid = own_pid
+        self.tracker = tracker
+        self._reports: Dict[int, Dict[int, int]] = {}
+
+    def record_report(self, pid: int, watermarks: Mapping[int, int]) -> None:
+        self._reports[pid] = dict(watermarks)
+
+    def stable_sn(self, sender: int, members: FrozenSet[int]) -> int:
+        """Highest sn of ``sender`` known stable across ``members``.
+
+        A member that has not reported yet contributes -1 (nothing stable)
+        — conservative, never unsafe.
+        """
+        bound = self.tracker.watermark(sender) if self.own_pid in members else -1
+        for pid in members:
+            if pid == self.own_pid:
+                continue
+            report = self._reports.get(pid)
+            if report is None:
+                return -1
+            bound = min(bound, report.get(sender, -1))
+        return bound
+
+    def forget_peer(self, pid: int) -> None:
+        self._reports.pop(pid, None)

@@ -1,0 +1,193 @@
+"""Group communication stack assembly.
+
+:class:`GroupStack` wires together everything a running group needs — the
+simulator, the network, one failure detector and one
+:class:`~repro.core.svs.SVSProcess` per member, a consensus factory, and a
+:class:`~repro.core.spec.HistoryRecorder` — so tests, examples and
+experiments can build a complete group in one call instead of repeating
+boilerplate.
+
+The two pluggable substrates mirror the paper's modularity claims:
+
+* ``consensus="chandra-toueg"`` (default) runs the real ◇S protocol;
+  ``consensus="oracle"`` decides instantly (optionally after a fixed delay).
+* ``fd="oracle"`` (default) suspects exactly ``fd_delay`` after a crash;
+  ``fd="heartbeat"`` runs the real heartbeat detector over the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.consensus.chandra_toueg import ChandraTouegConsensus
+from repro.consensus.interface import ConsensusFactory
+from repro.consensus.oracle import OracleConsensusHub
+from repro.core.message import View
+from repro.core.obsolescence import ObsolescenceRelation
+from repro.core.spec import HistoryRecorder
+from repro.core.svs import SVSProcess
+from repro.fd.detector import (
+    FailureDetector,
+    HeartbeatFailureDetector,
+    OracleFailureDetector,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.network import ConstantLatency, Network
+from repro.sim.process import ProcessId
+
+__all__ = ["GroupStack", "StackConfig"]
+
+
+@dataclass
+class StackConfig:
+    """Construction options for :class:`GroupStack`."""
+
+    n: int = 3
+    seed: int = 0
+    latency: float = 0.001
+    consensus: str = "chandra-toueg"  # or "oracle"
+    consensus_delay: float = 0.0  # oracle only
+    fd: str = "oracle"  # or "heartbeat"
+    fd_delay: float = 0.05  # oracle detection delay
+    heartbeat_period: float = 0.02
+    heartbeat_timeout: float = 0.1
+    record_history: bool = True
+    stability_interval: Optional[float] = None
+    """Enable stability tracking (watermark gossip + stable-message GC)
+    at this period; None reproduces the paper's protocol exactly."""
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("a group needs at least one member")
+        if self.consensus not in ("chandra-toueg", "oracle"):
+            raise ValueError(f"unknown consensus: {self.consensus!r}")
+        if self.fd not in ("oracle", "heartbeat"):
+            raise ValueError(f"unknown fd: {self.fd!r}")
+
+
+def _chandra_toueg_factory(owner, key, participants, on_decide):
+    """Consensus factory reading the detector off the owning process."""
+    return ChandraTouegConsensus(owner, key, participants, on_decide, owner.fd)
+
+
+class GroupStack:
+    """A fully wired group of SVS processes over one simulator."""
+
+    def __init__(
+        self,
+        relation: ObsolescenceRelation,
+        config: Optional[StackConfig] = None,
+    ) -> None:
+        self.config = config or StackConfig()
+        self.relation = relation
+        self.sim = Simulator(seed=self.config.seed)
+        self.network = Network(self.sim, ConstantLatency(self.config.latency))
+        self.initial_view = View(0, frozenset(range(self.config.n)))
+        self.recorder = HistoryRecorder() if self.config.record_history else None
+
+        consensus_factory: ConsensusFactory
+        if self.config.consensus == "oracle":
+            hub = OracleConsensusHub(
+                self.sim, decision_delay=self.config.consensus_delay
+            )
+            self.oracle_hub: Optional[OracleConsensusHub] = hub
+            consensus_factory = hub.instance
+        else:
+            self.oracle_hub = None
+            consensus_factory = _chandra_toueg_factory
+
+        shared_fd: Optional[OracleFailureDetector] = None
+        if self.config.fd == "oracle":
+            shared_fd = OracleFailureDetector(
+                self.sim, {}, detection_delay=self.config.fd_delay
+            )
+
+        def heartbeat_factory(proc) -> FailureDetector:
+            return HeartbeatFailureDetector(
+                proc,
+                period=self.config.heartbeat_period,
+                timeout=self.config.heartbeat_timeout,
+            )
+
+        self.processes: Dict[ProcessId, SVSProcess] = {}
+        for pid in range(self.config.n):
+            listeners = (
+                self.recorder.listeners() if self.recorder is not None else None
+            )
+            proc = SVSProcess(
+                pid=pid,
+                sim=self.sim,
+                network=self.network,
+                initial_view=self.initial_view,
+                relation=relation,
+                consensus_factory=consensus_factory,
+                fd=shared_fd if shared_fd is not None else heartbeat_factory,
+                listeners=listeners,
+                stability_interval=self.config.stability_interval,
+            )
+            self.processes[pid] = proc
+
+        if shared_fd is not None:
+            shared_fd.processes = dict(self.processes)
+            shared_fd.start()
+        else:
+            for proc in self.processes.values():
+                detector = proc.fd
+                assert isinstance(detector, HeartbeatFailureDetector)
+                detector.monitor(self.initial_view.members)
+                detector.start()
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, pid: ProcessId) -> SVSProcess:
+        return self.processes[pid]
+
+    def __iter__(self):
+        return iter(self.processes.values())
+
+    def __len__(self) -> int:
+        return len(self.processes)
+
+    @property
+    def members(self) -> List[ProcessId]:
+        return sorted(self.processes)
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
+        self.sim.run(until=until, max_events=max_events)
+
+    def settle(self, quiet_time: float = 1.0, max_time: float = 120.0) -> None:
+        """Run until the simulation goes quiet (heartbeats excluded).
+
+        "Quiet" means no view change in progress anywhere and all delivery
+        traffic flushed; used by tests to wait out a reconfiguration.
+        """
+        deadline = self.sim.now + max_time
+        while self.sim.now < deadline:
+            self.sim.run(until=min(self.sim.now + quiet_time, deadline))
+            busy = any(
+                p.blocked and not p.crashed and not p.excluded
+                for p in self.processes.values()
+            )
+            if not busy:
+                return
+
+    def crash(self, pid: ProcessId) -> None:
+        self.processes[pid].crash()
+
+    def drain_all(self) -> None:
+        """Have every live process deliver everything queued."""
+        for proc in self.processes.values():
+            if not proc.crashed:
+                proc.drain()
+
+    def live_members(self) -> List[ProcessId]:
+        return [
+            pid
+            for pid, p in self.processes.items()
+            if not p.crashed and not p.excluded
+        ]

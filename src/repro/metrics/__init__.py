@@ -1,0 +1,19 @@
+"""Metrics: counters, time-weighted statistics, histograms."""
+
+from repro.metrics.collectors import (
+    BusyTracker,
+    Counter,
+    Histogram,
+    SummaryStats,
+    TimeWeightedStat,
+    summarize,
+)
+
+__all__ = [
+    "Counter",
+    "TimeWeightedStat",
+    "BusyTracker",
+    "Histogram",
+    "SummaryStats",
+    "summarize",
+]

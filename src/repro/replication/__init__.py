@@ -1,0 +1,13 @@
+"""Primary-backup replication over SVS."""
+
+from repro.replication.primary_backup import ReplicatedCluster, ReplicatedServer
+from repro.replication.state import ItemStore, ItemValue, StoreOp, apply_op
+
+__all__ = [
+    "ItemStore",
+    "ItemValue",
+    "StoreOp",
+    "apply_op",
+    "ReplicatedServer",
+    "ReplicatedCluster",
+]

@@ -1,0 +1,198 @@
+"""Primary-backup replication over Semantic View Synchrony.
+
+"This behavior captures a fundamental issue in primary-backup replication,
+where a primary server executes requests from clients and forwards state
+updates to backup replicas.  The equivalence of state ensures that on
+fail-over, any surviving replica can be selected for the role of the
+primary." (Section 4)
+
+:class:`ReplicatedServer` is one replica: it executes client requests when
+it is the primary (the lowest pid of the current view, a deterministic
+choice every member computes identically) and applies delivered updates
+always — including its own, which arrive through the same delivery path as
+everyone else's, keeping the replicas' code paths identical.
+
+:class:`ReplicatedCluster` assembles n replicas over a
+:class:`~repro.gcs.stack.GroupStack`, wires consumers and automatic
+reconfiguration on suspicion, and exposes the state snapshots taken at
+every view boundary — the observable on which the SVS consistency
+guarantee is asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.message import DataMessage, View
+from repro.core.obsolescence import ItemTagging, ObsolescenceRelation
+from repro.gcs.endpoint import GroupEndpoint, RateLimitedConsumer
+from repro.gcs.stack import GroupStack, StackConfig
+from repro.replication.state import ItemStore, StoreOp
+
+__all__ = ["ReplicatedServer", "ReplicatedCluster"]
+
+
+class ReplicatedServer:
+    """One replica of the item-collection server."""
+
+    def __init__(self, endpoint: GroupEndpoint) -> None:
+        self.endpoint = endpoint
+        self.store = ItemStore()
+        self.view_snapshots: List[Tuple[int, Tuple]] = []
+        """(view id, store digest) recorded at every view installation."""
+        self.requests_executed = 0
+        self.requests_refused = 0
+        endpoint.on_data = self._on_data
+        endpoint.on_view = self._on_view
+
+    # ------------------------------------------------------------------
+    # Role
+    # ------------------------------------------------------------------
+
+    @property
+    def pid(self) -> int:
+        return self.endpoint.pid
+
+    @property
+    def is_primary(self) -> bool:
+        """Primary = lowest pid of the current view (deterministic)."""
+        members = self.endpoint.view.members
+        return bool(members) and self.pid == min(members)
+
+    # ------------------------------------------------------------------
+    # Client-facing execution path (primary only)
+    # ------------------------------------------------------------------
+
+    def handle_request(self, op: StoreOp) -> bool:
+        """Execute a client request: disseminate the resulting update.
+
+        Only the primary executes requests; the state change is applied on
+        *delivery* (like at every backup), not here, so all replicas share
+        one code path.  Returns False when this replica is not the primary
+        or is excluded — the client must retry against the new primary.
+        """
+        if not self.is_primary or self.endpoint.process.excluded:
+            self.requests_refused += 1
+            return False
+        # Item tagging (Section 4.2): sets of the same item supersede each
+        # other; creations and destructions are never obsolete.
+        annotation = op.item if op.kind == "set" else None
+        self.endpoint.multicast(payload=op, annotation=annotation)
+        self.requests_executed += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Delivery path (all replicas)
+    # ------------------------------------------------------------------
+
+    def _on_data(self, msg: DataMessage) -> None:
+        op = msg.payload
+        if not isinstance(op, StoreOp):
+            raise TypeError(f"unexpected replicated payload: {op!r}")
+        self.store.apply(op, msg.sn)
+
+    def _on_view(self, view: View) -> None:
+        self.view_snapshots.append((view.vid, self.store.digest()))
+
+
+class ReplicatedCluster:
+    """n replicas over one group stack, with consumers and auto-failover."""
+
+    def __init__(
+        self,
+        n: int = 3,
+        relation: Optional[ObsolescenceRelation] = None,
+        config: Optional[StackConfig] = None,
+        consumer_rates: Optional[Dict[int, float]] = None,
+        default_rate: float = 10_000.0,
+        auto_reconfigure: bool = True,
+    ) -> None:
+        self.stack = GroupStack(
+            relation or ItemTagging(), config or StackConfig(n=n)
+        )
+        self.servers: Dict[int, ReplicatedServer] = {}
+        self.consumers: Dict[int, RateLimitedConsumer] = {}
+        rates = consumer_rates or {}
+        for pid, proc in self.stack.processes.items():
+            endpoint = GroupEndpoint(proc)
+            server = ReplicatedServer(endpoint)
+            self.servers[pid] = server
+            consumer = RateLimitedConsumer(
+                self.stack.sim, endpoint, rates.get(pid, default_rate)
+            )
+            consumer.start()
+            self.consumers[pid] = consumer
+
+        if auto_reconfigure:
+            self._install_auto_reconfigure()
+
+    def _install_auto_reconfigure(self) -> None:
+        """Any live member that suspects a peer triggers a view change."""
+
+        def on_suspicion(suspect: int, suspected: bool) -> None:
+            if not suspected:
+                return
+            for proc in self.stack.processes.values():
+                if not proc.crashed and not proc.excluded and not proc.blocked:
+                    proc.trigger_view_change()
+                    return
+
+        seen = set()
+        for proc in self.stack.processes.values():
+            if id(proc.fd) not in seen:
+                seen.add(id(proc.fd))
+                proc.fd.subscribe(on_suspicion)
+
+    # ------------------------------------------------------------------
+    # Cluster-level operations
+    # ------------------------------------------------------------------
+
+    @property
+    def sim(self):
+        return self.stack.sim
+
+    def primary(self) -> Optional[ReplicatedServer]:
+        """The current primary among live, non-excluded replicas."""
+        candidates = [
+            s
+            for s in self.servers.values()
+            if not s.endpoint.process.crashed and not s.endpoint.process.excluded
+        ]
+        primaries = [s for s in candidates if s.is_primary]
+        return primaries[0] if primaries else None
+
+    def submit(self, op: StoreOp) -> bool:
+        """Submit a client request to the current primary (no retry)."""
+        primary = self.primary()
+        if primary is None:
+            return False
+        return primary.handle_request(op)
+
+    def crash_primary(self) -> Optional[int]:
+        primary = self.primary()
+        if primary is None:
+            return None
+        self.stack.crash(primary.pid)
+        return primary.pid
+
+    def run(self, until: float) -> None:
+        self.stack.run(until=until)
+
+    def live_servers(self) -> List[ReplicatedServer]:
+        return [
+            s
+            for s in self.servers.values()
+            if not s.endpoint.process.crashed and not s.endpoint.process.excluded
+        ]
+
+    def snapshots_by_view(self) -> Dict[int, Dict[int, Tuple]]:
+        """view id -> {pid -> digest} across all replicas.
+
+        The SVS consistency claim: for every view id, all digests agree.
+        """
+        out: Dict[int, Dict[int, Tuple]] = {}
+        for pid, server in self.servers.items():
+            for vid, digest in server.view_snapshots:
+                out.setdefault(vid, {})[pid] = digest
+        return out

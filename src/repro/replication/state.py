@@ -1,0 +1,117 @@
+"""Replicated server state: a versioned collection of data items.
+
+The paper's application model (Section 4): "all group members maintain a
+collection of data items.  The values of these items are continuously
+updated by one process upon handling requests from external client
+processes and then disseminated to other members of the group."
+
+:class:`ItemStore` is that collection.  Values carry the originating
+sequence number so stores can be compared structurally: SVS guarantees that
+at every view boundary all member stores are *equal* — every item holds the
+newest disseminated value even though slower members may have skipped
+intermediate values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["ItemValue", "ItemStore", "StoreOp", "apply_op"]
+
+
+@dataclass(frozen=True)
+class ItemValue:
+    """A value plus the per-sender sequence number that produced it."""
+
+    value: Any
+    sn: int
+
+
+@dataclass(frozen=True)
+class StoreOp:
+    """One state mutation disseminated through the group.
+
+    ``kind`` is ``"set"``, ``"create"`` or ``"destroy"``.  Creations and
+    destructions are never obsolete (the annotation layer enforces this);
+    sets of the same item supersede each other.
+    """
+
+    kind: str
+    item: int
+    value: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("set", "create", "destroy"):
+            raise ValueError(f"unknown op kind: {self.kind!r}")
+
+
+class ItemStore:
+    """The replicated item collection."""
+
+    def __init__(self) -> None:
+        self._items: Dict[int, ItemValue] = {}
+        self.ops_applied = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def get(self, item: int) -> Optional[Any]:
+        entry = self._items.get(item)
+        return entry.value if entry is not None else None
+
+    def version(self, item: int) -> Optional[int]:
+        entry = self._items.get(item)
+        return entry.sn if entry is not None else None
+
+    def items(self) -> List[Tuple[int, Any]]:
+        # Item keys may be heterogeneous (ints, tuples); sort by repr so
+        # ordering is total without requiring comparable keys.
+        return sorted(
+            ((k, v.value) for k, v in self._items.items()),
+            key=lambda pair: repr(pair[0]),
+        )
+
+    def snapshot(self) -> Dict[int, ItemValue]:
+        """An immutable-enough copy for later comparison."""
+        return dict(self._items)
+
+    def digest(self) -> Tuple[Tuple[int, Any], ...]:
+        """Order-independent structural fingerprint of the store."""
+        return tuple(self.items())
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def apply(self, op: StoreOp, sn: int) -> None:
+        """Apply one operation that arrived with sequence number ``sn``.
+
+        FIFO delivery means sns arrive in increasing order per sender, so
+        a plain overwrite implements last-writer-wins exactly.
+        """
+        self.ops_applied += 1
+        if op.kind == "destroy":
+            self._items.pop(op.item, None)
+        else:
+            self._items[op.item] = ItemValue(op.value, sn)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ItemStore):
+            return NotImplemented
+        return self.digest() == other.digest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ItemStore({len(self._items)} items, {self.ops_applied} ops)"
+
+
+def apply_op(store: ItemStore, op: StoreOp, sn: int) -> None:
+    """Free-function form of :meth:`ItemStore.apply` (pipeline-friendly)."""
+    store.apply(op, sn)

@@ -1,0 +1,37 @@
+"""Discrete-event simulation substrate.
+
+Everything in the reproduction executes on this substrate: a deterministic
+event-driven :class:`~repro.sim.kernel.Simulator`, crash-stop
+:class:`~repro.sim.process.SimProcess` participants, a reliable-FIFO
+:class:`~repro.sim.network.Network`, and fault/perturbation injection in
+:mod:`repro.sim.failure`.
+"""
+
+from repro.sim.kernel import Event, EventHandle, PeriodicTimer, SimulationError, Simulator
+from repro.sim.network import ConstantLatency, LatencyModel, Network, UniformLatency
+from repro.sim.process import ProcessId, ProcessRegistry, SimProcess
+from repro.sim.failure import (
+    CrashSchedule,
+    Perturbation,
+    PerturbationSchedule,
+    periodic_perturbations,
+)
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Event",
+    "EventHandle",
+    "PeriodicTimer",
+    "Network",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "ProcessId",
+    "SimProcess",
+    "ProcessRegistry",
+    "CrashSchedule",
+    "Perturbation",
+    "PerturbationSchedule",
+    "periodic_perturbations",
+]

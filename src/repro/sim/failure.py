@@ -1,0 +1,133 @@
+"""Fault and perturbation injection.
+
+The paper distinguishes two phenomena:
+
+* **crash-stop failures** — a process halts permanently (Section 3.1); and
+* **performance perturbations** — a process (or its disk, scheduler, VM
+  subsystem, ...) transiently slows down or stalls *without* being faulty
+  (Sections 1-2).  These are the phenomenon SVS is designed to absorb.
+
+:class:`CrashSchedule` injects the former; :class:`PerturbationSchedule`
+injects the latter by pausing/resuming a *rate-limited consumer* (anything
+exposing ``pause()``/``resume()``).  Both are driven off the simulator so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import SimProcess
+
+__all__ = [
+    "Pausable",
+    "CrashSchedule",
+    "Perturbation",
+    "PerturbationSchedule",
+]
+
+
+class Pausable(Protocol):
+    """Anything whose progress can be suspended and resumed."""
+
+    def pause(self) -> None: ...
+
+    def resume(self) -> None: ...
+
+
+@dataclass
+class CrashSchedule:
+    """Crash given processes at given simulated times.
+
+    ``crashes`` is a sequence of ``(time, process)`` pairs.  Call
+    :meth:`install` once after constructing the processes.
+    """
+
+    sim: Simulator
+    crashes: Sequence[Tuple[float, SimProcess]]
+    installed: bool = field(default=False, init=False)
+
+    def install(self) -> None:
+        if self.installed:
+            raise RuntimeError("crash schedule already installed")
+        self.installed = True
+        for time, proc in self.crashes:
+            self.sim.schedule_at(time, proc.crash)
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """A transient stall: the target makes no progress in [start, start+duration)."""
+
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class PerturbationSchedule:
+    """Apply a sequence of :class:`Perturbation` windows to a pausable target.
+
+    Overlapping perturbations are merged implicitly: pause/resume calls are
+    reference-counted so nested windows behave sensibly.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        target: Pausable,
+        perturbations: Sequence[Perturbation],
+    ) -> None:
+        self.sim = sim
+        self.target = target
+        self.perturbations = list(perturbations)
+        self._depth = 0
+        self._installed = False
+
+    def install(self) -> None:
+        if self._installed:
+            raise RuntimeError("perturbation schedule already installed")
+        self._installed = True
+        for p in self.perturbations:
+            if p.duration < 0:
+                raise ValueError(f"negative perturbation duration: {p}")
+            self.sim.schedule_at(p.start, self._pause)
+            self.sim.schedule_at(p.end, self._resume)
+
+    def _pause(self) -> None:
+        self._depth += 1
+        if self._depth == 1:
+            self.target.pause()
+
+    def _resume(self) -> None:
+        self._depth -= 1
+        if self._depth == 0:
+            self.target.resume()
+
+    @property
+    def total_stall_time(self) -> float:
+        """Total stalled duration assuming no overlap (diagnostic)."""
+        return sum(p.duration for p in self.perturbations)
+
+
+def periodic_perturbations(
+    first_start: float,
+    duration: float,
+    period: float,
+    count: int,
+) -> List[Perturbation]:
+    """Build ``count`` equally spaced stalls of equal ``duration``.
+
+    Convenience used by the throughput experiments: the paper studies "a
+    receiver that completely stops to process messages" for a bounded window
+    (Figure 5(b)); sweeping ``duration`` finds the tolerance limit.
+    """
+    if period <= 0 or count < 0:
+        raise ValueError("period must be positive and count non-negative")
+    return [
+        Perturbation(first_start + i * period, duration) for i in range(count)
+    ]

@@ -1,0 +1,219 @@
+"""Simulated network: a full mesh of point-to-point FIFO channels.
+
+The paper assumes processes are "fully connected by a network of
+point-to-point message passing channels" that are *reliable and FIFO
+ordered* (Section 3.1), with no bound on transmission time.  The evaluation
+additionally models the network as "n x n queues fully connecting all
+processes ... configured with unlimited bandwidth" (Section 5.3).
+
+:class:`Network` implements exactly that: one logical queue per ordered pair
+of processes.  Latency is pluggable per run; FIFO order is preserved even
+under jittery latency by never scheduling a delivery earlier than the
+previous delivery on the same channel.
+
+For failure-detector and liveness tests the network also supports *fault
+injection* (drops, partitions, extra delay).  These knobs are off by default
+so the core protocol runs over the paper's assumed reliable channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import ProcessId, SimProcess
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "Network",
+    "ChannelStats",
+]
+
+
+class LatencyModel:
+    """Strategy producing a one-way latency for each message."""
+
+    def sample(self, src: ProcessId, dst: ProcessId) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``latency`` time units."""
+
+    latency: float = 0.001
+
+    def sample(self, src: ProcessId, dst: ProcessId) -> float:
+        return self.latency
+
+
+class UniformLatency(LatencyModel):
+    """Latency drawn uniformly from ``[low, high]`` via the simulator RNG.
+
+    The generator is owned by the network (named ``"network"``), so latency
+    draws are deterministic per seed and independent of other random
+    consumers.
+    """
+
+    def __init__(self, sim: Simulator, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ValueError(f"invalid latency range [{low}, {high}]")
+        self._rng = sim.rng("network")
+        self.low = low
+        self.high = high
+
+    def sample(self, src: ProcessId, dst: ProcessId) -> float:
+        return self._rng.uniform(self.low, self.high)
+
+
+@dataclass
+class ChannelStats:
+    """Per-channel counters, used by tests and the metrics layer."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+
+
+class Network:
+    """Full mesh of reliable FIFO channels over a :class:`Simulator`.
+
+    Processes attach themselves on construction (see
+    :class:`~repro.sim.process.SimProcess`).  ``send`` enqueues a delivery
+    event; FIFO order per ordered pair is enforced by tracking the last
+    scheduled delivery time per channel.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency or ConstantLatency()
+        self._procs: Dict[ProcessId, SimProcess] = {}
+        self._last_delivery: Dict[Tuple[ProcessId, ProcessId], float] = {}
+        self._stats: Dict[Tuple[ProcessId, ProcessId], ChannelStats] = {}
+        # Fault injection state (all empty/None by default = reliable net).
+        self._cut: Set[Tuple[ProcessId, ProcessId]] = set()
+        self._drop_filter: Optional[Callable[[ProcessId, ProcessId, Any], bool]] = None
+        self._delay_filter: Optional[Callable[[ProcessId, ProcessId, Any], float]] = None
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def attach(self, proc: SimProcess) -> None:
+        if proc.pid in self._procs:
+            raise ValueError(f"pid {proc.pid} already attached")
+        self._procs[proc.pid] = proc
+
+    def process(self, pid: ProcessId) -> SimProcess:
+        return self._procs[pid]
+
+    @property
+    def pids(self) -> List[ProcessId]:
+        return sorted(self._procs)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, src: ProcessId, dst: ProcessId, payload: Any) -> None:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        Unknown destinations are ignored (a message to a process that never
+        existed just disappears, as on a real network).
+        """
+        channel = (src, dst)
+        stats = self._stats.setdefault(channel, ChannelStats())
+        stats.sent += 1
+        self.messages_sent += 1
+
+        if channel in self._cut or (dst, src) == channel and channel in self._cut:
+            stats.dropped += 1
+            self.messages_dropped += 1
+            return
+        if self._drop_filter is not None and self._drop_filter(src, dst, payload):
+            stats.dropped += 1
+            self.messages_dropped += 1
+            return
+
+        delay = self.latency.sample(src, dst)
+        if self._delay_filter is not None:
+            delay += self._delay_filter(src, dst, payload)
+
+        # FIFO: never deliver before the previously scheduled delivery on
+        # this channel, regardless of the sampled latency.
+        deliver_at = max(self.sim.now + delay, self._last_delivery.get(channel, 0.0))
+        self._last_delivery[channel] = deliver_at
+        self.sim.schedule_at(deliver_at, self._deliver, src, dst, payload)
+
+    def _deliver(self, src: ProcessId, dst: ProcessId, payload: Any) -> None:
+        proc = self._procs.get(dst)
+        if proc is None:
+            return
+        self._stats.setdefault((src, dst), ChannelStats()).delivered += 1
+        self.messages_delivered += 1
+        proc._deliver(src, payload)
+
+    # ------------------------------------------------------------------
+    # Fault injection (used by tests; default off)
+    # ------------------------------------------------------------------
+
+    def cut(self, a: ProcessId, b: ProcessId, bidirectional: bool = True) -> None:
+        """Drop all future messages on the (a, b) channel(s)."""
+        self._cut.add((a, b))
+        if bidirectional:
+            self._cut.add((b, a))
+
+    def heal(self, a: ProcessId, b: ProcessId, bidirectional: bool = True) -> None:
+        """Undo :meth:`cut`."""
+        self._cut.discard((a, b))
+        if bidirectional:
+            self._cut.discard((b, a))
+
+    def partition(self, side_a: Set[ProcessId], side_b: Set[ProcessId]) -> None:
+        """Cut every channel crossing the two sides."""
+        for a in side_a:
+            for b in side_b:
+                self.cut(a, b)
+
+    def heal_all(self) -> None:
+        self._cut.clear()
+
+    def set_drop_filter(
+        self, predicate: Optional[Callable[[ProcessId, ProcessId, Any], bool]]
+    ) -> None:
+        """Drop messages for which ``predicate(src, dst, payload)`` is true."""
+        self._drop_filter = predicate
+
+    def set_delay_filter(
+        self, extra: Optional[Callable[[ProcessId, ProcessId, Any], float]]
+    ) -> None:
+        """Add ``extra(src, dst, payload)`` seconds of latency per message.
+
+        Note: added delay interacts with the FIFO guarantee — a delayed
+        message also delays everything behind it on the same channel, which
+        is exactly how a slow link behaves.
+        """
+        self._delay_filter = extra
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def channel_stats(self, src: ProcessId, dst: ProcessId) -> ChannelStats:
+        return self._stats.setdefault((src, dst), ChannelStats())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Network(procs={len(self._procs)}, sent={self.messages_sent}, "
+            f"delivered={self.messages_delivered})"
+        )

@@ -1,0 +1,31 @@
+"""Workloads: the calibrated game-trace generator and trace tooling."""
+
+from repro.workload.game import GameConfig, GameTraceGenerator, generate_game_trace
+from repro.workload.patterns import mixed_stream, periodic_updates, single_item_stream
+from repro.workload.trace import (
+    MessageKind,
+    Trace,
+    TraceMessage,
+    TraceStats,
+    compute_stats,
+    item_rank_profile,
+    obsolescence_distances,
+    to_data_messages,
+)
+
+__all__ = [
+    "GameConfig",
+    "GameTraceGenerator",
+    "generate_game_trace",
+    "MessageKind",
+    "Trace",
+    "TraceMessage",
+    "TraceStats",
+    "compute_stats",
+    "item_rank_profile",
+    "obsolescence_distances",
+    "to_data_messages",
+    "periodic_updates",
+    "single_item_stream",
+    "mixed_stream",
+]

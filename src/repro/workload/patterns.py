@@ -1,0 +1,116 @@
+"""Synthetic non-game traffic patterns.
+
+Simple generators with analytically known obsolescence structure, used by
+unit tests to validate the throughput model against closed-form
+expectations, and by examples as easily understood workloads:
+
+* :func:`periodic_updates` — round-robin updates over ``items`` data items
+  at a constant rate (the "periodic traffic" the paper contrasts with the
+  bursty game traffic in Section 5.4);
+* :func:`single_item_stream` — every message updates the same item, the
+  extreme case where purging keeps exactly one message buffered;
+* :func:`mixed_stream` — a tunable blend of obsolescible updates and
+  reliable events, for sweeping the never-obsolete share.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.workload.trace import MessageKind, Trace, TraceMessage
+
+__all__ = ["periodic_updates", "single_item_stream", "mixed_stream"]
+
+
+def periodic_updates(
+    items: int,
+    messages: int,
+    rate: float,
+) -> Trace:
+    """Round-robin item updates at ``rate`` messages per second.
+
+    Item ``i`` is updated every ``items`` messages, so the obsolescence
+    distance is exactly ``items`` for every related pair.
+    """
+    if items <= 0 or messages < 0 or rate <= 0:
+        raise ValueError("items/rate must be positive, messages non-negative")
+    out: List[TraceMessage] = []
+    for i in range(messages):
+        time = i / rate
+        out.append(
+            TraceMessage(
+                index=i,
+                round=i,
+                time=time,
+                item=i % items,
+                kind=MessageKind.UPDATE,
+            )
+        )
+    rounds = max(messages, 1)
+    return Trace(
+        messages=out,
+        rounds=rounds,
+        fps=rate,
+        active_per_round=[items] * rounds,
+        label=f"periodic-{items}items",
+    )
+
+
+def single_item_stream(messages: int, rate: float) -> Trace:
+    """Every message updates item 0 — maximal obsolescence."""
+    return periodic_updates(items=1, messages=messages, rate=rate)
+
+
+def mixed_stream(
+    messages: int,
+    rate: float,
+    items: int = 10,
+    reliable_share: float = 0.4,
+    seed: int = 0,
+) -> Trace:
+    """Blend of round-robin updates and never-obsolete events.
+
+    ``reliable_share`` is the expected fraction of EVENT messages — the
+    knob that sweeps the never-obsolete share, the primary determinant of
+    how much purging can help (Section 2.3: "the traffic pattern must
+    exhibit some obsolescence").
+    """
+    if not 0.0 <= reliable_share <= 1.0:
+        raise ValueError(f"reliable_share out of range: {reliable_share}")
+    rng = random.Random(seed)
+    out: List[TraceMessage] = []
+    next_event_item = items
+    update_cursor = 0
+    for i in range(messages):
+        time = i / rate
+        if rng.random() < reliable_share:
+            out.append(
+                TraceMessage(
+                    index=i,
+                    round=i,
+                    time=time,
+                    item=next_event_item,
+                    kind=MessageKind.EVENT,
+                )
+            )
+            next_event_item += 1
+        else:
+            out.append(
+                TraceMessage(
+                    index=i,
+                    round=i,
+                    time=time,
+                    item=update_cursor % items,
+                    kind=MessageKind.UPDATE,
+                )
+            )
+            update_cursor += 1
+    rounds = max(messages, 1)
+    return Trace(
+        messages=out,
+        rounds=rounds,
+        fps=rate,
+        active_per_round=[items] * rounds,
+        label=f"mixed-{reliable_share:.2f}",
+    )

@@ -1,0 +1,181 @@
+"""Unit tests for the slow-receiver throughput model.
+
+Validated against closed-form expectations on the analytic traffic
+patterns, then sanity-checked on the game trace.
+"""
+
+import pytest
+
+from repro.analysis.throughput import (
+    ThroughputConfig,
+    perturbation_tolerance,
+    run_slow_receiver,
+    threshold_rate,
+)
+from repro.workload.patterns import periodic_updates, single_item_stream
+
+
+class TestFastConsumer:
+    def test_no_blocking_when_consumer_outpaces_producer(self):
+        trace = periodic_updates(items=5, messages=500, rate=50.0)
+        result = run_slow_receiver(
+            trace,
+            ThroughputConfig(buffer_size=10, consumer_rate=500.0, semantic=False),
+        )
+        assert result.blocked_fraction == 0.0
+        assert result.producer_idle_pct == 100.0
+        assert result.delivered == 500
+        assert result.completed
+
+    def test_occupancy_small_when_fast(self):
+        trace = periodic_updates(items=5, messages=500, rate=50.0)
+        result = run_slow_receiver(
+            trace,
+            ThroughputConfig(buffer_size=10, consumer_rate=500.0, semantic=False),
+        )
+        assert result.mean_occupancy < 2.0
+
+
+class TestSlowConsumerReliable:
+    def test_blocking_fraction_matches_queueing_theory(self):
+        """Deterministic arrivals at λ with service rate c < λ: the
+        producer must stall a fraction ≈ 1 - c/λ of the time."""
+        trace = periodic_updates(items=5, messages=2000, rate=100.0)
+        result = run_slow_receiver(
+            trace,
+            ThroughputConfig(buffer_size=10, consumer_rate=50.0, semantic=False),
+        )
+        assert result.blocked_fraction == pytest.approx(0.5, abs=0.05)
+
+    def test_queue_saturates_at_capacity(self):
+        trace = periodic_updates(items=5, messages=2000, rate=100.0)
+        result = run_slow_receiver(
+            trace,
+            ThroughputConfig(buffer_size=10, consumer_rate=50.0, semantic=False),
+        )
+        assert result.max_occupancy == 10
+        assert result.mean_occupancy > 8.0
+
+    def test_all_messages_eventually_delivered(self):
+        trace = periodic_updates(items=5, messages=300, rate=100.0)
+        result = run_slow_receiver(
+            trace,
+            ThroughputConfig(buffer_size=5, consumer_rate=50.0, semantic=False),
+        )
+        assert result.delivered == 300
+
+
+class TestSlowConsumerSemantic:
+    def test_single_item_stream_never_blocks(self):
+        """Every message obsoletes its predecessor: the buffer collapses
+        to at most one data message regardless of consumer speed."""
+        trace = single_item_stream(messages=2000, rate=100.0)
+        result = run_slow_receiver(
+            trace,
+            ThroughputConfig(buffer_size=4, consumer_rate=5.0, semantic=True),
+        )
+        assert result.blocked_fraction == 0.0
+        assert result.purged > 1500
+
+    def test_purging_rate_on_periodic_traffic(self):
+        """Round-robin over m items with a buffer >= m: a slow consumer
+        forces every superseded copy to purge; throughput never blocks as
+        long as the working set fits."""
+        trace = periodic_updates(items=5, messages=2000, rate=100.0)
+        result = run_slow_receiver(
+            trace,
+            ThroughputConfig(buffer_size=10, consumer_rate=20.0, semantic=True),
+        )
+        assert result.blocked_fraction < 0.01
+
+    def test_working_set_larger_than_buffer_blocks(self):
+        """If the distance between related messages exceeds what the buffer
+        can hold, purging cannot help (the paper's small-buffer effect)."""
+        trace = periodic_updates(items=50, messages=2000, rate=100.0)
+        result = run_slow_receiver(
+            trace,
+            ThroughputConfig(buffer_size=5, consumer_rate=20.0, semantic=True),
+        )
+        assert result.blocked_fraction > 0.5
+
+    def test_semantic_never_slower_than_reliable(self, short_game_trace):
+        for rate in (30, 60):
+            rel = run_slow_receiver(
+                short_game_trace,
+                ThroughputConfig(buffer_size=15, consumer_rate=rate, semantic=False),
+            )
+            sem = run_slow_receiver(
+                short_game_trace,
+                ThroughputConfig(buffer_size=15, consumer_rate=rate, semantic=True),
+            )
+            assert sem.producer_idle_pct >= rel.producer_idle_pct - 1e-9
+            assert sem.mean_occupancy <= rel.mean_occupancy + 1e-9
+
+
+class TestThresholdSearch:
+    def test_threshold_monotone_in_buffer_size(self, short_game_trace):
+        t_small = threshold_rate(short_game_trace, 6, semantic=False)
+        t_large = threshold_rate(short_game_trace, 24, semantic=False)
+        assert t_large <= t_small
+
+    def test_semantic_threshold_below_reliable(self, short_game_trace):
+        rel = threshold_rate(short_game_trace, 15, semantic=False)
+        sem = threshold_rate(short_game_trace, 15, semantic=True)
+        assert sem < rel
+
+    def test_semantic_threshold_below_mean_rate_with_big_buffer(
+        self, short_game_trace
+    ):
+        """The paper's headline: with purging, a receiver slower than the
+        mean input rate can be accommodated — impossible for reliable."""
+        mean_rate = short_game_trace.message_rate
+        rel = threshold_rate(short_game_trace, 24, semantic=False)
+        sem = threshold_rate(short_game_trace, 24, semantic=True)
+        assert rel >= mean_rate * 0.95
+        assert sem < mean_rate
+
+
+class TestPerturbationTolerance:
+    def test_reliable_tolerance_scales_with_buffer(self, short_game_trace):
+        small = perturbation_tolerance(short_game_trace, 8, semantic=False, probes=4)
+        large = perturbation_tolerance(short_game_trace, 24, semantic=False, probes=4)
+        assert large > small
+
+    def test_semantic_tolerates_longer_than_reliable(self, short_game_trace):
+        rel = perturbation_tolerance(short_game_trace, 20, semantic=False, probes=4)
+        sem = perturbation_tolerance(short_game_trace, 20, semantic=True, probes=4)
+        assert sem > rel
+
+    def test_reliable_tolerance_near_buffer_over_rate(self):
+        """On perfectly periodic traffic the tolerance is exactly the time
+        to fill the buffer: B / λ."""
+        trace = periodic_updates(items=100, messages=6000, rate=100.0)
+        tol = perturbation_tolerance(
+            trace, 20, semantic=False, probes=3, warmup=5.0
+        )
+        assert tol == pytest.approx(20 / 100.0, rel=0.25)
+
+    def test_invalid_probe_parameters(self, short_game_trace):
+        with pytest.raises(ValueError):
+            perturbation_tolerance(short_game_trace, 10, semantic=True, probes=0)
+
+
+class TestConfigValidation:
+    def test_bad_buffer(self):
+        with pytest.raises(ValueError):
+            ThroughputConfig(buffer_size=0)
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            ThroughputConfig(consumer_rate=0.0)
+
+    def test_effective_k_default(self):
+        assert ThroughputConfig(buffer_size=12).effective_k() == 24
+        assert ThroughputConfig(buffer_size=12, k=7).effective_k() == 7
+
+    def test_purge_ratio_property(self, short_game_trace):
+        result = run_slow_receiver(
+            short_game_trace,
+            ThroughputConfig(buffer_size=15, consumer_rate=30, semantic=True),
+        )
+        assert 0.0 < result.purge_ratio < 1.0

@@ -1,0 +1,48 @@
+"""Tests for the loaded view-change experiment."""
+
+import pytest
+
+from repro.analysis.viewchange import measure_view_change_latency
+from repro.workload.game import GameConfig, generate_game_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_game_trace(GameConfig(rounds=900, seed=8))  # 30 s
+
+
+@pytest.fixture(scope="module")
+def results(trace):
+    return {
+        semantic: measure_view_change_latency(
+            trace, semantic=semantic, slow_rate=25.0, load_time=15.0
+        )
+        for semantic in (False, True)
+    }
+
+
+class TestViewChangeUnderLoad:
+    def test_semantic_backlog_smaller(self, results):
+        assert results[True].backlog_at_trigger < results[False].backlog_at_trigger
+
+    def test_semantic_purged_messages(self, results):
+        assert results[True].purged_at_slow > 0
+        assert results[False].purged_at_slow == 0
+
+    def test_app_level_latency_ordering(self, results):
+        assert results[True].slow_app_latency < results[False].slow_app_latency
+
+    def test_protocol_level_latency_small_for_both(self, results):
+        # The consensus exchange itself is fast; the backlog is what the
+        # application waits behind.
+        for result in results.values():
+            assert result.protocol_latency < 1.0
+
+    def test_view_installed_at_all_members(self, results):
+        for result in results.values():
+            assert set(result.app_latency) == {0, 1, 2}
+
+    def test_fast_members_see_view_quickly(self, results):
+        for result in results.values():
+            fast = [v for pid, v in result.app_latency.items() if pid != 1]
+            assert all(v < 1.0 for v in fast)

@@ -1,0 +1,38 @@
+"""Shared fixtures for the SVS reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.message import DataMessage, MessageId
+from repro.workload.game import GameConfig, generate_game_trace
+
+
+def make_data(
+    sender: int = 0,
+    sn: int = 0,
+    view_id: int = 0,
+    payload=None,
+    annotation=None,
+) -> DataMessage:
+    """Terse DataMessage constructor used across the test suite."""
+    return DataMessage(
+        mid=MessageId(sender, sn),
+        view_id=view_id,
+        payload=payload,
+        annotation=annotation,
+    )
+
+
+@pytest.fixture(scope="session")
+def short_game_trace():
+    """A 1500-round (50 s) game trace — big enough for statistics, small
+    enough to keep the suite fast.  Session-scoped: generation and
+    annotation caches are shared across tests."""
+    return generate_game_trace(GameConfig(rounds=1500))
+
+
+@pytest.fixture(scope="session")
+def tiny_game_trace():
+    """A 300-round (10 s) trace for tests that only need plausible traffic."""
+    return generate_game_trace(GameConfig(rounds=300, seed=5))

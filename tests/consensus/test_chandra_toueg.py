@@ -1,0 +1,186 @@
+"""Unit tests for Chandra–Toueg ◇S consensus.
+
+The properties under test are the classic trio the SVS protocol relies on
+(Section 3.1): agreement (all correct processes decide the same value),
+validity (the decision was proposed), and termination (all correct
+processes decide, given a majority of correct processes and an eventually
+accurate detector).
+"""
+
+import pytest
+
+from repro.consensus.chandra_toueg import ChandraTouegConsensus
+from repro.core.message import Envelope
+from repro.fd.detector import OracleFailureDetector
+from repro.sim.kernel import Simulator
+from repro.sim.network import ConstantLatency, Network
+from repro.sim.process import SimProcess
+
+
+class ConsensusHost(SimProcess):
+    """A process that participates in a single consensus instance."""
+
+    def __init__(self, pid, sim, network):
+        super().__init__(pid, sim, network)
+        self.instance = None
+        self.decision = None
+
+    def attach(self, fd, participants, key="k"):
+        self.instance = ChandraTouegConsensus(
+            self, key, participants, self._decided, fd
+        )
+
+    def _decided(self, value):
+        self.decision = value
+
+    def on_message(self, sender, payload):
+        if isinstance(payload, Envelope) and payload.stream == "consensus":
+            self.instance.on_message(sender, payload.body)
+
+
+def build(n=3, latency=0.001, fd_delay=0.05):
+    sim = Simulator(seed=4)
+    net = Network(sim, ConstantLatency(latency))
+    hosts = [ConsensusHost(i, sim, net) for i in range(n)]
+    oracle = OracleFailureDetector(
+        sim, {h.pid: h for h in hosts}, detection_delay=fd_delay
+    )
+    oracle.start()
+    participants = [h.pid for h in hosts]
+    for host in hosts:
+        host.attach(oracle, participants)
+    return sim, net, hosts
+
+
+class TestFailureFreeRuns:
+    def test_all_decide_same_value(self):
+        sim, net, hosts = build()
+        for host in hosts:
+            host.instance.propose(f"v{host.pid}")
+        sim.run(until=5.0)
+        decisions = {h.decision for h in hosts}
+        assert len(decisions) == 1
+        assert None not in decisions
+
+    def test_validity(self):
+        sim, net, hosts = build()
+        proposals = {f"v{h.pid}" for h in hosts}
+        for host in hosts:
+            host.instance.propose(f"v{host.pid}")
+        sim.run(until=5.0)
+        assert hosts[0].decision in proposals
+
+    def test_single_participant(self):
+        sim = Simulator()
+        net = Network(sim, ConstantLatency(0.001))
+        host = ConsensusHost(0, sim, net)
+        oracle = OracleFailureDetector(sim, {0: host})
+        oracle.start()
+        host.attach(oracle, [0])
+        host.instance.propose("solo")
+        sim.run(until=1.0)
+        assert host.decision == "solo"
+
+    def test_staggered_proposals_still_decide(self):
+        sim, net, hosts = build()
+        for i, host in enumerate(hosts):
+            sim.schedule(0.2 * i, host.instance.propose, f"v{host.pid}")
+        sim.run(until=5.0)
+        assert len({h.decision for h in hosts}) == 1
+
+    def test_repropose_is_ignored(self):
+        sim, net, hosts = build()
+        hosts[0].instance.propose("first")
+        hosts[0].instance.propose("second")
+        for host in hosts[1:]:
+            host.instance.propose(f"v{host.pid}")
+        sim.run(until=5.0)
+        # The coordinator of round 0 is host 0: its estimate is "first".
+        assert hosts[0].decision == "first"
+
+    def test_complex_values_carried_intact(self):
+        sim, net, hosts = build()
+        value = ("view", frozenset({1, 2}), (("m", 0),))
+        for host in hosts:
+            host.instance.propose(value)
+        sim.run(until=5.0)
+        assert hosts[1].decision == value
+
+
+class TestCrashRuns:
+    def test_coordinator_crash_before_propose_phase(self):
+        # Host 0 coordinates round 0; crash it before anyone proposes.
+        sim, net, hosts = build()
+        hosts[0].crash()
+        for host in hosts[1:]:
+            host.instance.propose(f"v{host.pid}")
+        sim.run(until=10.0)
+        live = [h for h in hosts if not h.crashed]
+        assert all(h.decision is not None for h in live)
+        assert len({h.decision for h in live}) == 1
+
+    def test_coordinator_crash_mid_round(self):
+        sim, net, hosts = build(n=5)
+        for host in hosts:
+            host.instance.propose(f"v{host.pid}")
+        sim.schedule(0.0015, hosts[0].crash)  # after estimates arrive
+        sim.run(until=10.0)
+        live = [h for h in hosts if not h.crashed]
+        assert all(h.decision is not None for h in live)
+        assert len({h.decision for h in live}) == 1
+
+    def test_minority_crash_tolerated(self):
+        sim, net, hosts = build(n=5)
+        hosts[3].crash()
+        hosts[4].crash()
+        for host in hosts[:3]:
+            host.instance.propose(f"v{host.pid}")
+        sim.run(until=10.0)
+        assert all(h.decision is not None for h in hosts[:3])
+        assert len({h.decision for h in hosts[:3]}) == 1
+
+    def test_uniformity_with_late_crash(self):
+        """A process that decides and then crashes must not have decided
+        differently from the survivors (uniform agreement)."""
+        sim, net, hosts = build(n=3)
+        for host in hosts:
+            host.instance.propose(f"v{host.pid}")
+        decided_values = []
+        original = hosts[0]._decided
+
+        def capture_and_crash(value):
+            decided_values.append(value)
+            original(value)
+            hosts[0].crash()
+
+        hosts[0]._decided = capture_and_crash
+        hosts[0].instance._on_decide = capture_and_crash
+        sim.run(until=10.0)
+        live_decisions = {h.decision for h in hosts[1:]}
+        assert len(live_decisions) == 1
+        if decided_values:
+            assert decided_values[0] in live_decisions
+
+
+class TestSuspicionHandling:
+    def test_wrong_suspicion_does_not_violate_agreement(self):
+        # An aggressive oracle (instant suspicion) may force extra rounds
+        # but never disagreement.
+        sim = Simulator(seed=4)
+        net = Network(sim, ConstantLatency(0.01))
+        hosts = [ConsensusHost(i, sim, net) for i in range(3)]
+
+        class Jumpy(OracleFailureDetector):
+            def suspects(self, pid):
+                # Falsely suspect pid 0 early on.
+                return pid == 0 and sim.now < 0.05 or super().suspects(pid)
+
+        oracle = Jumpy(sim, {h.pid: h for h in hosts})
+        oracle.start()
+        for host in hosts:
+            host.attach(oracle, [0, 1, 2])
+        for host in hosts:
+            host.instance.propose(f"v{host.pid}")
+        sim.run(until=10.0)
+        assert len({h.decision for h in hosts}) == 1
+        assert hosts[0].decision is not None

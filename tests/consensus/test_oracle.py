@@ -1,0 +1,92 @@
+"""Unit tests for the instant consensus oracle."""
+
+import pytest
+
+from repro.consensus.oracle import OracleConsensusHub
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.process import SimProcess
+
+
+class Plain(SimProcess):
+    def on_message(self, sender, payload):
+        pass
+
+
+def build(n=3, delay=0.0):
+    sim = Simulator()
+    net = Network(sim)
+    hub = OracleConsensusHub(sim, decision_delay=delay)
+    procs = [Plain(i, sim, net) for i in range(n)]
+    return sim, hub, procs
+
+
+class TestOracleConsensus:
+    def test_first_proposal_wins(self):
+        sim, hub, procs = build()
+        decisions = {}
+        instances = [
+            hub.instance(p, "k", [0, 1, 2], lambda v, pid=p.pid: decisions.__setitem__(pid, v))
+            for p in procs
+        ]
+        instances[1].propose("from-1")
+        instances[0].propose("from-0")
+        sim.run()
+        assert decisions == {0: "from-1", 1: "from-1", 2: "from-1"}
+
+    def test_late_registration_still_decides(self):
+        sim, hub, procs = build()
+        decisions = {}
+        early = hub.instance(procs[0], "k", [0, 1], lambda v: decisions.__setitem__(0, v))
+        early.propose("x")
+        sim.run()
+        late = hub.instance(procs[1], "k", [0, 1], lambda v: decisions.__setitem__(1, v))
+        sim.run()
+        assert decisions == {0: "x", 1: "x"}
+
+    def test_decision_delay_applied(self):
+        sim, hub, procs = build(delay=0.5)
+        times = {}
+        instance = hub.instance(
+            procs[0], "k", [0], lambda v: times.__setitem__("t", sim.now)
+        )
+        instance.propose("x")
+        sim.run()
+        assert times["t"] == 0.5
+
+    def test_independent_keys_independent_decisions(self):
+        sim, hub, procs = build()
+        decisions = {}
+        a = hub.instance(procs[0], "a", [0], lambda v: decisions.__setitem__("a", v))
+        b = hub.instance(procs[0], "b", [0], lambda v: decisions.__setitem__("b", v))
+        a.propose("va")
+        b.propose("vb")
+        sim.run()
+        assert decisions == {"a": "va", "b": "vb"}
+
+    def test_crashed_owner_not_notified(self):
+        sim, hub, procs = build()
+        decisions = []
+        instance = hub.instance(procs[0], "k", [0, 1], decisions.append)
+        procs[0].crash()
+        instance.propose("x")
+        sim.run()
+        assert decisions == []
+
+    def test_decision_for_lookup(self):
+        sim, hub, procs = build()
+        instance = hub.instance(procs[0], "k", [0], lambda v: None)
+        assert hub.decision_for("k") is None
+        instance.propose("x")
+        assert hub.decision_for("k") == "x"
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            OracleConsensusHub(sim, decision_delay=-0.1)
+
+    def test_no_network_messages(self):
+        sim, hub, procs = build()
+        instance = hub.instance(procs[0], "k", [0], lambda v: None)
+        with pytest.raises(AssertionError):
+            instance.on_message(1, "anything")

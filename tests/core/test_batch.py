@@ -1,0 +1,213 @@
+"""Unit tests for multi-item batches (Section 4.1 / Figure 2)."""
+
+import pytest
+
+from repro.core.batch import BatchAssembler, BatchEncoder, BatchMessagePayload, ItemUpdate
+from repro.core.buffers import DeliveryQueue
+from repro.core.obsolescence import KEnumeration, KEnumerationEncoder
+
+
+def build_encoder(k=32, piggyback=True):
+    return BatchEncoder(
+        KEnumerationEncoder(sender=0, k=k), commit_piggybacked=piggyback
+    )
+
+
+class TestEncoding:
+    def test_piggybacked_commit_is_last_update(self):
+        enc = build_encoder()
+        msgs = enc.encode_batch([ItemUpdate(1, "a"), ItemUpdate(2, "b")])
+        assert len(msgs) == 2
+        assert not msgs[0].payload.commit
+        assert msgs[1].payload.commit
+        assert msgs[1].payload.update == ItemUpdate(2, "b")
+
+    def test_separate_commit_message(self):
+        enc = build_encoder(piggyback=False)
+        msgs = enc.encode_batch([ItemUpdate(1, "a")])
+        assert len(msgs) == 2
+        assert msgs[1].payload.update is None
+        assert msgs[1].payload.commit
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            build_encoder().encode_batch([])
+
+    def test_interior_updates_never_obsolete_anything(self):
+        enc = build_encoder()
+        enc.encode_batch([ItemUpdate(1, "a"), ItemUpdate(2, "b")])
+        msgs = enc.encode_batch([ItemUpdate(1, "a2"), ItemUpdate(2, "b2")])
+        interior = msgs[0]
+        assert interior.annotation == 0
+
+    def test_sequence_numbers_consecutive(self):
+        enc = build_encoder()
+        first = enc.encode_batch([ItemUpdate(1, "a"), ItemUpdate(2, "b")])
+        second = enc.encode_batch([ItemUpdate(3, "c")])
+        sns = [m.sn for m in first + second]
+        assert sns == list(range(len(sns)))
+
+    def test_batch_ids_increment(self):
+        enc = build_encoder()
+        a = enc.encode_batch([ItemUpdate(1, "x")])
+        b = enc.encode_batch([ItemUpdate(1, "y")])
+        assert a[0].payload.batch_id != b[0].payload.batch_id
+
+
+class TestCommitObsolescence:
+    def test_figure_2_scenario(self):
+        """U(a,1) U(b,1) C(1)  then  U(b,2) U(c,2) C(2):
+        C(2) — not U(b,2) — makes U(b,1) obsolete."""
+        enc = build_encoder(piggyback=False)
+        rel = KEnumeration(k=32)
+        batch1 = enc.encode_batch([ItemUpdate("a", 1), ItemUpdate("b", 1)])
+        batch2 = enc.encode_batch([ItemUpdate("b", 2), ItemUpdate("c", 2)])
+        u_a1, u_b1, c1 = batch1
+        u_b2, u_c2, c2 = batch2
+        # The second update to b does NOT itself obsolete U(b,1)...
+        assert not rel.obsoletes(u_b2, u_b1)
+        # ...the commit of the second batch does.
+        assert rel.obsoletes(c2, u_b1)
+        # Unrelated items are untouched.
+        assert not rel.obsoletes(c2, u_a1)
+
+    def test_commit_does_not_obsolete_own_batch(self):
+        enc = build_encoder(piggyback=False)
+        rel = KEnumeration(k=32)
+        u_a, u_b, commit = enc.encode_batch(
+            [ItemUpdate("a", 1), ItemUpdate("b", 1)]
+        )
+        assert not rel.obsoletes(commit, u_a)
+        assert not rel.obsoletes(commit, u_b)
+
+    def test_piggybacked_commit_obsoletes_prior_interior_updates_only(self):
+        enc = build_encoder(piggyback=True)
+        rel = KEnumeration(k=32)
+        batch1 = enc.encode_batch([ItemUpdate("a", 1), ItemUpdate("b", 1)])
+        batch2 = enc.encode_batch([ItemUpdate("a", 2), ItemUpdate("b", 2)])
+        commit2 = batch2[-1]
+        # The interior update of batch 1 is covered by the new commit...
+        assert rel.obsoletes(commit2, batch1[0])
+        # ...but batch 1's piggybacked commit is exempt: purging it would
+        # strand U(a,1) uncommitted (a torn batch).
+        assert not rel.obsoletes(commit2, batch1[1])
+
+    def test_commits_are_never_obsolescence_targets(self):
+        # Single-update piggybacked batches: every message is a commit, so
+        # nothing may ever be purged.
+        enc = build_encoder(piggyback=True)
+        rel = KEnumeration(k=32)
+        b1 = enc.encode_batch([ItemUpdate("a", 1)])
+        b2 = enc.encode_batch([ItemUpdate("a", 2)])
+        assert not rel.obsoletes(b2[-1], b1[-1])
+
+    def test_chained_batches_are_commit_anchored(self):
+        """Each interior update is obsoleted by its item's *next* commit
+        (which is never purgeable), so coverage chains have length one —
+        the encoding is trivially transitive because commits are never on
+        the left of the relation."""
+        enc = build_encoder(piggyback=False)
+        rel = KEnumeration(k=32)
+        b1 = enc.encode_batch([ItemUpdate("a", 1)])
+        b2 = enc.encode_batch([ItemUpdate("a", 2)])
+        b3 = enc.encode_batch([ItemUpdate("a", 3)])
+        # Every interior update is covered by the following batch's commit.
+        assert rel.obsoletes(b2[-1], b1[0])
+        assert rel.obsoletes(b3[-1], b2[0])
+        # The commit control messages themselves are never obsolete, so no
+        # chain x ≺ y ≺ z can form.
+        assert not rel.obsoletes(b3[-1], b1[-1])
+        assert not rel.obsoletes(b3[-1], b2[-1])
+
+
+class TestAssembler:
+    def test_atomic_delivery_on_commit(self):
+        enc = build_encoder(piggyback=False)
+        asm = BatchAssembler()
+        msgs = enc.encode_batch([ItemUpdate(1, "a"), ItemUpdate(2, "b")])
+        assert asm.feed(msgs[0]) is None
+        assert asm.feed(msgs[1]) is None
+        result = asm.feed(msgs[2])
+        assert result == [ItemUpdate(1, "a"), ItemUpdate(2, "b")]
+        assert asm.open_batches == 0
+
+    def test_piggybacked_assembly(self):
+        enc = build_encoder(piggyback=True)
+        asm = BatchAssembler()
+        msgs = enc.encode_batch([ItemUpdate(1, "a"), ItemUpdate(2, "b")])
+        assert asm.feed(msgs[0]) is None
+        assert asm.feed(msgs[1]) == [ItemUpdate(1, "a"), ItemUpdate(2, "b")]
+
+    def test_interleaved_batches_by_id(self):
+        enc = build_encoder(piggyback=False)
+        b1 = enc.encode_batch([ItemUpdate(1, "a")])
+        b2 = enc.encode_batch([ItemUpdate(2, "b")])
+        asm = BatchAssembler()
+        asm.feed(b1[0])
+        asm.feed(b2[0])
+        assert asm.open_batches == 2
+        assert asm.feed(b2[1]) == [ItemUpdate(2, "b")]
+        assert asm.feed(b1[1]) == [ItemUpdate(1, "a")]
+
+    def test_non_batch_payload_rejected(self):
+        from tests.conftest import make_data
+
+        asm = BatchAssembler()
+        with pytest.raises(TypeError):
+            asm.feed(make_data(payload="raw"))
+
+
+class TestAtomicityThroughPurging:
+    def test_purged_queue_still_yields_atomic_batches(self):
+        """Run two overwriting batches through a purging queue: whatever is
+        delivered must commit whole batches with the newest values."""
+        enc = build_encoder(piggyback=True, k=32)
+        rel = KEnumeration(k=32)
+        queue = DeliveryQueue(rel)
+        batch1 = enc.encode_batch([ItemUpdate("a", 1), ItemUpdate("b", 1)])
+        batch2 = enc.encode_batch([ItemUpdate("a", 2), ItemUpdate("b", 2)])
+        for msg in batch1 + batch2:
+            queue.append(msg)
+            queue.purge_by(msg)
+        asm = BatchAssembler()
+        committed = []
+        while queue:
+            result = asm.feed(queue.pop())
+            if result is not None:
+                committed.append(result)
+        # Batch 1's interior update U(a,1) was purged; its piggybacked
+        # commit U(b,1) survives (commits are exempt) and commits the
+        # remaining part, which batch 2 then supersedes item by item.
+        assert committed == [
+            [ItemUpdate("b", 1)],
+            [ItemUpdate("a", 2), ItemUpdate("b", 2)],
+        ]
+        assert asm.open_batches == 0
+
+    def test_final_state_converges_despite_partial_application(self):
+        """Apply committed batches to a dict: the purged path must reach
+        exactly the same final state as the unpurged path."""
+        def final_state(purge: bool):
+            enc = build_encoder(piggyback=True, k=32)
+            rel = KEnumeration(k=32)
+            queue = DeliveryQueue(rel)
+            batches = [
+                [ItemUpdate("a", 1), ItemUpdate("b", 1)],
+                [ItemUpdate("b", 2), ItemUpdate("c", 2)],
+                [ItemUpdate("a", 3), ItemUpdate("b", 3)],
+            ]
+            for batch in batches:
+                for msg in enc.encode_batch(batch):
+                    queue.append(msg)
+                    if purge:
+                        queue.purge_by(msg)
+            state = {}
+            asm = BatchAssembler()
+            while queue:
+                result = asm.feed(queue.pop())
+                if result:
+                    for update in result:
+                        state[update.item] = update.value
+            return state
+
+        assert final_state(purge=True) == final_state(purge=False)

@@ -1,0 +1,212 @@
+"""Unit tests for the purgeable delivery queue."""
+
+import pytest
+
+from repro.core.buffers import DeliveryQueue, QueueFullError
+from repro.core.message import View, ViewDelivery
+from repro.core.obsolescence import EmptyRelation, ItemTagging
+from tests.conftest import make_data
+
+
+def tagged(sn, tag, view_id=0):
+    return make_data(sn=sn, annotation=tag, view_id=view_id)
+
+
+class TestBasicQueue:
+    def test_fifo_order(self):
+        q = DeliveryQueue(EmptyRelation())
+        for sn in range(3):
+            q.append(make_data(sn=sn))
+        assert [m.sn for m in (q.pop(), q.pop(), q.pop())] == [0, 1, 2]
+
+    def test_peek_does_not_remove(self):
+        q = DeliveryQueue(EmptyRelation())
+        q.append(make_data(sn=0))
+        assert q.peek().sn == 0
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        q = DeliveryQueue(EmptyRelation())
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_contains_mid_tracking(self):
+        q = DeliveryQueue(EmptyRelation())
+        msg = make_data(sn=4)
+        q.append(msg)
+        assert q.contains_mid(msg.mid)
+        q.pop()
+        assert not q.contains_mid(msg.mid)
+
+    def test_bool_and_len(self):
+        q = DeliveryQueue(EmptyRelation())
+        assert not q
+        q.append(make_data())
+        assert q and len(q) == 1
+
+    def test_view_messages_flow_through(self):
+        q = DeliveryQueue(ItemTagging())
+        view = ViewDelivery(View(1, frozenset({0})))
+        q.append(tagged(0, 7))
+        q.append(view)
+        q.append(tagged(1, 7))
+        q.purge()
+        # The data message was purged but the view message survives.
+        assert [type(e).__name__ for e in q] == ["ViewDelivery", "DataMessage"]
+
+
+class TestCapacity:
+    def test_append_raises_when_full(self):
+        q = DeliveryQueue(EmptyRelation(), capacity=2)
+        q.append(make_data(sn=0))
+        q.append(make_data(sn=1))
+        with pytest.raises(QueueFullError):
+            q.append(make_data(sn=2))
+
+    def test_is_full_and_free_space(self):
+        q = DeliveryQueue(EmptyRelation(), capacity=2)
+        assert q.free_space == 2
+        q.append(make_data(sn=0))
+        assert q.free_space == 1 and not q.is_full
+        q.append(make_data(sn=1))
+        assert q.is_full
+
+    def test_unbounded_free_space_is_none(self):
+        assert DeliveryQueue(EmptyRelation()).free_space is None
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DeliveryQueue(EmptyRelation(), capacity=0)
+
+    def test_try_append_respects_capacity(self):
+        q = DeliveryQueue(EmptyRelation(), capacity=1)
+        assert q.try_append(make_data(sn=0))
+        assert not q.try_append(make_data(sn=1))
+        assert len(q) == 1
+
+    def test_try_append_purges_to_make_room(self):
+        # The defining SVS behaviour: a full buffer still absorbs a message
+        # that makes a queued one obsolete.
+        q = DeliveryQueue(ItemTagging(), capacity=2)
+        q.append(tagged(0, 7))
+        q.append(tagged(1, 8))
+        assert q.is_full
+        assert q.try_append(tagged(2, 7))
+        assert [m.sn for m in q.data_messages()] == [1, 2]
+
+    def test_try_append_unrelated_message_fails_but_purge_not_undone(self):
+        q = DeliveryQueue(ItemTagging(), capacity=2)
+        q.append(tagged(0, 7))
+        q.append(tagged(1, 8))
+        assert not q.try_append(tagged(2, 9))
+        assert len(q) == 2
+
+
+class TestPurge:
+    def test_purge_removes_dominated(self):
+        q = DeliveryQueue(ItemTagging())
+        q.append(tagged(0, 7))
+        q.append(tagged(1, 7))
+        removed = q.purge()
+        assert [m.sn for m in removed] == [0]
+        assert [m.sn for m in q.data_messages()] == [1]
+
+    def test_purge_keeps_maximal_elements(self):
+        q = DeliveryQueue(ItemTagging())
+        q.append(tagged(0, 7))
+        q.append(tagged(1, 8))
+        q.append(tagged(2, 7))
+        q.purge()
+        assert [m.sn for m in q.data_messages()] == [1, 2]
+
+    def test_purge_chain_keeps_only_newest(self):
+        q = DeliveryQueue(ItemTagging())
+        for sn in range(5):
+            q.append(tagged(sn, 7))
+        q.purge()
+        assert [m.sn for m in q.data_messages()] == [4]
+
+    def test_purge_respects_view_boundaries(self):
+        # Messages of different views are never related (Figure 1 purge).
+        q = DeliveryQueue(ItemTagging())
+        q.append(tagged(0, 7, view_id=0))
+        q.append(tagged(1, 7, view_id=1))
+        assert q.purge() == []
+        assert len(q) == 2
+
+    def test_purge_by_external_message(self):
+        q = DeliveryQueue(ItemTagging())
+        q.append(tagged(0, 7))
+        newcomer = tagged(5, 7)  # not appended
+        removed = q.purge_by(newcomer)
+        assert [m.sn for m in removed] == [0]
+        assert len(q) == 0
+
+    def test_purge_by_ignores_other_views(self):
+        q = DeliveryQueue(ItemTagging())
+        q.append(tagged(0, 7, view_id=0))
+        assert q.purge_by(tagged(5, 7, view_id=1)) == []
+
+    def test_empty_relation_never_purges(self):
+        q = DeliveryQueue(EmptyRelation())
+        q.append(tagged(0, 7))
+        q.append(tagged(1, 7))
+        assert q.purge() == []
+        assert len(q) == 2
+
+    def test_purge_preserves_relative_order_of_survivors(self):
+        q = DeliveryQueue(ItemTagging())
+        q.append(tagged(0, 1))
+        q.append(tagged(1, 2))
+        q.append(tagged(2, 1))
+        q.append(tagged(3, 3))
+        q.purge()
+        assert [m.sn for m in q.data_messages()] == [1, 2, 3]
+
+
+class TestCoverage:
+    def test_covered_by_identity(self):
+        q = DeliveryQueue(ItemTagging())
+        msg = tagged(0, 7)
+        q.append(msg)
+        assert q.covered(msg)
+
+    def test_covered_by_newer_same_tag(self):
+        q = DeliveryQueue(ItemTagging())
+        q.append(tagged(5, 7))
+        assert q.covered(tagged(0, 7))
+
+    def test_not_covered_by_other_tag(self):
+        q = DeliveryQueue(ItemTagging())
+        q.append(tagged(5, 8))
+        assert not q.covered(tagged(0, 7))
+
+
+class TestStats:
+    def test_counters(self):
+        q = DeliveryQueue(ItemTagging(), capacity=2)
+        q.append(tagged(0, 7))
+        q.append(tagged(1, 7))
+        q.purge()
+        q.pop()
+        q.try_append(tagged(2, 9))
+        assert q.stats.appended == 3
+        assert q.stats.purged == 1
+        assert q.stats.popped == 1
+        assert q.stats.max_len == 2
+
+    def test_rejected_counter(self):
+        q = DeliveryQueue(EmptyRelation(), capacity=1)
+        q.append(tagged(0, 7))
+        q.try_append(tagged(1, 8))
+        assert q.stats.rejected == 1
+
+    def test_purge_ratio(self):
+        q = DeliveryQueue(ItemTagging())
+        q.append(tagged(0, 7))
+        q.append(tagged(1, 7))
+        q.purge()
+        assert q.stats.purge_ratio() == pytest.approx(0.5)
+
+    def test_purge_ratio_empty_queue(self):
+        assert DeliveryQueue(EmptyRelation()).stats.purge_ratio() == 0.0

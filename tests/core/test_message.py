@@ -1,0 +1,100 @@
+"""Unit tests for message and view types."""
+
+import pytest
+
+from repro.core.message import (
+    DataMessage,
+    Envelope,
+    InitMessage,
+    MessageId,
+    PredMessage,
+    View,
+    ViewDelivery,
+)
+
+
+class TestMessageId:
+    def test_ordering_by_sender_then_sn(self):
+        assert MessageId(0, 5) < MessageId(1, 0)
+        assert MessageId(1, 0) < MessageId(1, 1)
+
+    def test_equality_and_hash(self):
+        assert MessageId(2, 3) == MessageId(2, 3)
+        assert len({MessageId(2, 3), MessageId(2, 3)}) == 1
+
+    def test_str(self):
+        assert str(MessageId(2, 3)) == "2.3"
+
+
+class TestView:
+    def test_membership_operations(self):
+        view = View(1, frozenset({0, 1, 2}))
+        assert 1 in view
+        assert 5 not in view
+        assert len(view) == 3
+        assert view.sorted_members == (0, 1, 2)
+
+    def test_members_coerced_to_frozenset(self):
+        view = View(0, {2, 1})  # type: ignore[arg-type]
+        assert isinstance(view.members, frozenset)
+
+    def test_majority(self):
+        assert View(0, frozenset({0})).majority() == 1
+        assert View(0, frozenset({0, 1})).majority() == 2
+        assert View(0, frozenset({0, 1, 2})).majority() == 2
+        assert View(0, frozenset(range(4))).majority() == 3
+        assert View(0, frozenset(range(5))).majority() == 3
+
+    def test_without(self):
+        view = View(3, frozenset({0, 1, 2}))
+        smaller = view.without(frozenset({1}))
+        assert smaller.vid == 3
+        assert smaller.members == frozenset({0, 2})
+
+    def test_negative_vid_rejected(self):
+        with pytest.raises(ValueError):
+            View(-1, frozenset({0}))
+
+    def test_views_hashable(self):
+        assert len({View(0, frozenset({1})), View(0, frozenset({1}))}) == 1
+
+
+class TestDataMessage:
+    def test_accessors(self):
+        msg = DataMessage(MessageId(4, 7), view_id=2, payload="p", annotation=9)
+        assert msg.sender == 4
+        assert msg.sn == 7
+        assert msg.view_id == 2
+        assert msg.payload == "p"
+        assert msg.annotation == 9
+
+    def test_frozen(self):
+        msg = DataMessage(MessageId(0, 0), view_id=0)
+        with pytest.raises(AttributeError):
+            msg.payload = "nope"  # type: ignore[misc]
+
+    def test_repr_mentions_id_and_view(self):
+        msg = DataMessage(MessageId(1, 2), view_id=3)
+        assert "1.2" in repr(msg) and "v3" in repr(msg)
+
+
+class TestControlMessages:
+    def test_view_delivery_wraps_view(self):
+        view = View(2, frozenset({0, 1}))
+        assert ViewDelivery(view).view is view
+
+    def test_init_message_leave_coerced(self):
+        init = InitMessage(0, leave={3})  # type: ignore[arg-type]
+        assert isinstance(init.leave, frozenset)
+
+    def test_init_default_leave_empty(self):
+        assert InitMessage(0).leave == frozenset()
+
+    def test_pred_message_holds_tuple(self):
+        m = DataMessage(MessageId(0, 0), view_id=0)
+        pred = PredMessage(0, (m,))
+        assert pred.messages == (m,)
+
+    def test_envelope_defaults(self):
+        env = Envelope(stream="svs", body="x")
+        assert env.instance is None

@@ -1,0 +1,264 @@
+"""Unit/integration tests for the SVS protocol (Figure 1)."""
+
+import pytest
+
+from repro.core.message import DataMessage, View, ViewDelivery
+from repro.core.obsolescence import EmptyRelation, ItemTagging
+from repro.core.spec import check_all, check_classic_vs
+from repro.gcs.stack import GroupStack, StackConfig
+
+
+def build(n=3, relation=None, **kwargs):
+    config = StackConfig(n=n, consensus=kwargs.pop("consensus", "oracle"), **kwargs)
+    return GroupStack(relation or ItemTagging(), config)
+
+
+def data_payloads(entries):
+    return [e.payload for e in entries if isinstance(e, DataMessage)]
+
+
+class TestBasicDelivery:
+    def test_initial_view_is_first_delivery(self):
+        stack = build()
+        entry = stack[0].deliver()
+        assert isinstance(entry, ViewDelivery)
+        assert entry.view.vid == 0
+
+    def test_multicast_reaches_all_members(self):
+        stack = build()
+        stack[0].multicast("hello", annotation=1)
+        stack.run(until=0.1)
+        for proc in stack:
+            assert data_payloads(proc.drain()) == ["hello"]
+
+    def test_sender_self_delivers(self):
+        stack = build()
+        stack[1].multicast("mine", annotation=1)
+        assert data_payloads(stack[1].drain()) == ["mine"]
+
+    def test_fifo_order_per_sender(self):
+        stack = build()
+        for i in range(10):
+            stack[0].multicast(i, annotation=None)
+        stack.run(until=0.1)
+        assert data_payloads(stack[2].drain()) == list(range(10))
+
+    def test_multiple_senders_interleave(self):
+        stack = build()
+        stack[0].multicast("a0", annotation=None)
+        stack[1].multicast("b0", annotation=None)
+        stack.run(until=0.1)
+        delivered = data_payloads(stack[2].drain())
+        assert set(delivered) == {"a0", "b0"}
+
+    def test_deliver_returns_none_when_empty(self):
+        stack = build()
+        stack[0].drain()
+        assert stack[0].deliver() is None
+
+    def test_pending_counts_queue(self):
+        stack = build()
+        stack[0].multicast("x", annotation=None)
+        assert stack[0].pending == 2  # initial view + data
+
+
+class TestPurging:
+    def test_newer_update_purges_queued_older(self):
+        stack = build()
+        stack[0].multicast("v1", annotation=7)
+        stack[0].multicast("v2", annotation=7)
+        stack.run(until=0.1)
+        for proc in stack:
+            assert data_payloads(proc.drain()) == ["v2"]
+
+    def test_fast_consumer_sees_everything(self):
+        # A member that delivers before the newer update arrives has
+        # nothing to purge — purging only affects the slow.
+        stack = build()
+        stack[0].multicast("v1", annotation=7)
+        stack.run(until=0.1)
+        fast = data_payloads(stack[1].drain())
+        stack[0].multicast("v2", annotation=7)
+        stack.run(until=0.2)
+        fast += data_payloads(stack[1].drain())
+        assert fast == ["v1", "v2"]
+        # The slow member (never drained) skipped v1.
+        assert data_payloads(stack[2].drain()) == ["v2"]
+
+    def test_unrelated_tags_not_purged(self):
+        stack = build()
+        stack[0].multicast("a", annotation=1)
+        stack[0].multicast("b", annotation=2)
+        stack.run(until=0.1)
+        assert data_payloads(stack[2].drain()) == ["a", "b"]
+
+    def test_empty_relation_never_purges(self):
+        stack = build(relation=EmptyRelation())
+        for i in range(5):
+            stack[0].multicast(i, annotation=7)
+        stack.run(until=0.1)
+        assert data_payloads(stack[2].drain()) == list(range(5))
+
+    def test_purge_counter_advances(self):
+        stack = build()
+        stack[0].multicast("v1", annotation=7)
+        stack[0].multicast("v2", annotation=7)
+        stack.run(until=0.1)
+        assert stack[2].purge_count == 1
+
+
+class TestMulticastGuards:
+    def test_multicast_while_blocked_returns_none(self):
+        stack = build()
+        stack[0].trigger_view_change()
+        # Run just past the local INIT (blocked) but before the remote
+        # PREDs return (network latency 1 ms).
+        stack.run(until=0.0005)
+        assert stack[0].blocked
+        assert stack[0].multicast("nope", annotation=None) is None
+
+    def test_multicast_after_crash_returns_none(self):
+        stack = build()
+        stack.crash(0)
+        assert stack[0].multicast("nope", annotation=None) is None
+
+    def test_multicast_resumes_after_view_change(self):
+        stack = build()
+        stack[0].trigger_view_change()
+        stack.run(until=2.0)
+        assert not stack[0].blocked
+        assert stack[0].multicast("again", annotation=None) is not None
+
+
+class TestViewChanges:
+    def test_view_change_without_membership_change(self):
+        stack = build()
+        stack[1].trigger_view_change()
+        stack.run(until=2.0)
+        for proc in stack:
+            assert proc.cv.vid == 1
+            assert proc.cv.members == frozenset({0, 1, 2})
+
+    def test_voluntary_leave(self):
+        stack = build()
+        stack[2].trigger_view_change(leave=(2,))
+        stack.run(until=2.0)
+        assert stack[0].cv.members == frozenset({0, 1})
+        assert stack[2].excluded
+
+    def test_crashed_member_removed(self):
+        stack = build(n=4)
+        stack.crash(3)
+        stack.run(until=0.5)
+        stack[0].trigger_view_change()
+        stack.run(until=3.0)
+        for pid in (0, 1, 2):
+            assert stack[pid].cv.members == frozenset({0, 1, 2})
+
+    def test_messages_before_change_delivered_before_view(self):
+        stack = build()
+        stack[0].multicast("pre", annotation=None)
+        stack[0].trigger_view_change()
+        stack.run(until=2.0)
+        entries = stack[2].drain()
+        kinds = [
+            ("view", e.view.vid) if isinstance(e, ViewDelivery) else ("data", e.payload)
+            for e in entries
+        ]
+        assert kinds.index(("data", "pre")) < kinds.index(("view", 1))
+
+    def test_in_flight_message_recovered_by_flush(self):
+        """A message dropped at a blocked receiver must be re-delivered by
+        the installation flush (sender participates in the next view)."""
+        stack = build(latency=0.05)  # slow network: message in flight
+        stack[0].multicast("flighty", annotation=None)
+        # Receiver 2 blocks before the data arrives (INIT beats the data
+        # because we trigger it locally at process 2).
+        stack[2].trigger_view_change()
+        stack.run(until=3.0)
+        assert "flighty" in data_payloads(stack[2].drain())
+
+    def test_consecutive_view_changes(self):
+        stack = build()
+        stack[0].trigger_view_change()
+        stack.run(until=2.0)
+        stack[1].trigger_view_change()
+        stack.run(until=4.0)
+        assert all(p.cv.vid == 2 for p in stack)
+        stack.drain_all()
+        assert check_all(stack.recorder, stack.relation) == []
+
+    def test_new_view_messages_tagged_with_new_view(self):
+        stack = build()
+        stack[0].trigger_view_change()
+        stack.run(until=2.0)
+        msg = stack[0].multicast("fresh", annotation=None)
+        assert msg.view_id == 1
+
+    def test_stale_view_data_dropped(self):
+        """Data tagged with an old view must not be accepted after the
+        receiver has installed a newer one."""
+        stack = build(latency=0.2)
+        stack[0].multicast("stale", annotation=None)
+        stack[1].trigger_view_change()
+        stack.run(until=5.0)
+        # Nobody delivers "stale" twice and safety holds regardless.
+        stack.drain_all()
+        assert check_all(stack.recorder, stack.relation) == []
+
+
+class TestExclusion:
+    def test_excluded_process_stops_participating(self):
+        stack = build()
+        stack[0].trigger_view_change(leave=(2,))
+        stack.run(until=2.0)
+        assert stack[2].excluded
+        assert stack[2].multicast("zombie", annotation=None) is None
+
+    def test_exclusion_listener_fires(self):
+        stack = build()
+        stack[0].trigger_view_change(leave=(1,))
+        stack.run(until=2.0)
+        assert stack.recorder.excluded.get(1) is not None
+
+    def test_majority_required_for_view_change(self):
+        # With 2 of 3 crashed there is no majority: the survivor stays
+        # blocked rather than installing a bogus view.
+        stack = build(n=3)
+        stack.crash(1)
+        stack.crash(2)
+        stack.run(until=0.5)
+        stack[0].trigger_view_change()
+        stack.run(until=3.0)
+        assert stack[0].cv.vid == 0
+        assert stack[0].blocked
+
+
+class TestSafetyUnderLoad:
+    @pytest.mark.parametrize("consensus", ["oracle", "chandra-toueg"])
+    def test_spec_holds_with_slow_member_and_view_change(self, consensus):
+        stack = build(consensus=consensus)
+        # Multicast a stream with heavy obsolescence while member 2 never
+        # consumes; then reconfigure.
+        for i in range(30):
+            stack[0].multicast(("item", i % 3, i), annotation=i % 3)
+        stack.run(until=0.5)
+        stack[1].trigger_view_change()
+        stack.run(until=3.0)
+        for i in range(30, 40):
+            stack[0].multicast(("item", i % 3, i), annotation=i % 3)
+        stack.run(until=4.0)
+        stack.drain_all()
+        violations = check_all(stack.recorder, stack.relation)
+        assert violations == []
+
+    def test_classic_vs_with_empty_relation(self):
+        stack = build(relation=EmptyRelation())
+        for i in range(20):
+            stack[0].multicast(i, annotation=None)
+        stack.run(until=0.5)
+        stack[2].trigger_view_change()
+        stack.run(until=3.0)
+        stack.drain_all()
+        assert check_classic_vs(stack.recorder) == []
+        assert check_all(stack.recorder, stack.relation) == []

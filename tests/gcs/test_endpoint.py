@@ -1,0 +1,153 @@
+"""Unit tests for the application endpoint and rate-limited consumer."""
+
+import pytest
+
+from repro.core.message import DataMessage, ViewDelivery
+from repro.core.obsolescence import ItemTagging
+from repro.gcs.endpoint import GroupEndpoint, RateLimitedConsumer
+from repro.gcs.stack import GroupStack, StackConfig
+
+
+def build(n=3, **kwargs):
+    stack = GroupStack(ItemTagging(), StackConfig(n=n, consensus="oracle", **kwargs))
+    endpoints = {pid: GroupEndpoint(stack[pid]) for pid in stack.members}
+    return stack, endpoints
+
+
+class TestMulticastFacade:
+    def test_immediate_multicast(self):
+        stack, eps = build()
+        assert eps[0].multicast("x", annotation=1)
+        stack.run(until=0.1)
+        received = []
+        eps[1].on_data = lambda m: received.append(m.payload)
+        eps[1].poll_all()
+        assert "x" in received
+
+    def test_parked_during_view_change_and_flushed(self):
+        stack, eps = build()
+        stack[0].trigger_view_change()
+        stack.run(until=0.0005)  # blocked, change not yet complete
+        assert not eps[0].multicast("parked", annotation=1)
+        stack.run(until=2.0)  # view installed; outbox flushed
+        stack.run(until=2.1)
+        received = []
+        eps[2].on_data = lambda m: received.append(m.payload)
+        eps[2].poll_all()
+        assert "parked" in received
+
+    def test_parked_message_sent_in_new_view(self):
+        stack, eps = build()
+        sent = []
+        stack[0].listeners.on_multicast = lambda pid, m: sent.append(m)
+        stack[0].trigger_view_change()
+        stack.run(until=0.0005)
+        eps[0].multicast("parked", annotation=1)
+        stack.run(until=2.0)
+        assert sent and sent[-1].view_id == 1
+
+    def test_excluded_endpoint_refuses(self):
+        stack, eps = build()
+        stack[0].trigger_view_change(leave=(2,))
+        stack.run(until=2.0)
+        assert stack[2].excluded
+        assert not eps[2].multicast("zombie", annotation=None)
+
+
+class TestCallbacks:
+    def test_view_callback(self):
+        stack, eps = build()
+        views = []
+        eps[1].on_view = lambda v: views.append(v.vid)
+        eps[1].poll_all()
+        assert views == [0]
+
+    def test_data_callback(self):
+        stack, eps = build()
+        eps[0].multicast("d", annotation=None)
+        stack.run(until=0.1)
+        data = []
+        eps[1].on_data = lambda m: data.append(m.payload)
+        eps[1].poll_all()
+        assert data == ["d"]
+
+    def test_excluded_callback(self):
+        stack, eps = build()
+        excluded = []
+        eps[2].on_excluded = lambda v: excluded.append(v.vid)
+        stack[0].trigger_view_change(leave=(2,))
+        stack.run(until=2.0)
+        assert excluded == [1]
+
+    def test_poll_returns_entry(self):
+        stack, eps = build()
+        entry = eps[0].poll()
+        assert isinstance(entry, ViewDelivery)
+
+    def test_poll_empty_returns_none(self):
+        stack, eps = build()
+        eps[0].poll_all()
+        assert eps[0].poll() is None
+
+
+class TestMembershipOps:
+    def test_leave(self):
+        stack, eps = build()
+        eps[2].leave()
+        stack.run(until=2.0)
+        assert stack[0].cv.members == frozenset({0, 1})
+
+    def test_expel(self):
+        stack, eps = build()
+        eps[0].expel(1)
+        stack.run(until=2.0)
+        assert stack[0].cv.members == frozenset({0, 2})
+
+    def test_reconfigure_keeps_members(self):
+        stack, eps = build()
+        eps[0].reconfigure()
+        stack.run(until=2.0)
+        assert stack[0].cv.vid == 1
+        assert stack[0].cv.members == frozenset({0, 1, 2})
+
+
+class TestRateLimitedConsumer:
+    def test_consumes_at_configured_rate(self):
+        stack, eps = build()
+        consumer = RateLimitedConsumer(stack.sim, eps[1], rate=10.0)
+        consumer.start()
+        for i in range(5):
+            eps[0].multicast(i, annotation=None)
+        stack.run(until=0.35)
+        # At 10 msg/s for 0.35 s: 3 ticks => 3 entries consumed (the first
+        # being the view notification).
+        assert consumer.consumed == 3
+
+    def test_pause_stops_consumption(self):
+        stack, eps = build()
+        consumer = RateLimitedConsumer(stack.sim, eps[1], rate=100.0)
+        consumer.start()
+        for i in range(10):
+            eps[0].multicast(i, annotation=None)
+        stack.run(until=0.05)
+        consumer.pause()
+        before = consumer.consumed
+        stack.run(until=0.5)
+        assert consumer.consumed == before
+        consumer.resume()
+        stack.run(until=1.0)
+        assert consumer.consumed > before
+
+    def test_invalid_rate_rejected(self):
+        stack, eps = build()
+        with pytest.raises(ValueError):
+            RateLimitedConsumer(stack.sim, eps[0], rate=0.0)
+
+    def test_start_idempotent(self):
+        stack, eps = build()
+        consumer = RateLimitedConsumer(stack.sim, eps[1], rate=10.0)
+        consumer.start()
+        consumer.start()
+        eps[0].multicast("x", annotation=None)
+        stack.run(until=0.15)
+        assert consumer.consumed == 1

@@ -1,0 +1,100 @@
+"""Unit tests for group stack assembly."""
+
+import pytest
+
+from repro.core.obsolescence import ItemTagging
+from repro.core.spec import check_all
+from repro.gcs.stack import GroupStack, StackConfig
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        StackConfig()
+
+    def test_n_must_be_positive(self):
+        with pytest.raises(ValueError):
+            StackConfig(n=0)
+
+    def test_unknown_consensus_rejected(self):
+        with pytest.raises(ValueError):
+            StackConfig(consensus="paxos")
+
+    def test_unknown_fd_rejected(self):
+        with pytest.raises(ValueError):
+            StackConfig(fd="psychic")
+
+
+class TestAssembly:
+    def test_all_processes_share_initial_view(self):
+        stack = GroupStack(ItemTagging(), StackConfig(n=4))
+        for proc in stack:
+            assert proc.cv.vid == 0
+            assert proc.cv.members == frozenset(range(4))
+
+    def test_members_sorted(self):
+        stack = GroupStack(ItemTagging(), StackConfig(n=3))
+        assert stack.members == [0, 1, 2]
+
+    def test_len_and_getitem(self):
+        stack = GroupStack(ItemTagging(), StackConfig(n=3))
+        assert len(stack) == 3
+        assert stack[1].pid == 1
+
+    def test_recorder_can_be_disabled(self):
+        stack = GroupStack(ItemTagging(), StackConfig(record_history=False))
+        assert stack.recorder is None
+
+    def test_heartbeat_fd_per_process(self):
+        stack = GroupStack(ItemTagging(), StackConfig(n=3, fd="heartbeat"))
+        detectors = {id(p.fd) for p in stack}
+        assert len(detectors) == 3
+
+    def test_oracle_fd_shared(self):
+        stack = GroupStack(ItemTagging(), StackConfig(n=3, fd="oracle"))
+        detectors = {id(p.fd) for p in stack}
+        assert len(detectors) == 1
+
+
+@pytest.mark.parametrize("consensus", ["oracle", "chandra-toueg"])
+@pytest.mark.parametrize("fd", ["oracle", "heartbeat"])
+class TestSubstrateMatrix:
+    def test_crash_and_reconfigure(self, consensus, fd):
+        """All four consensus × fd combinations safely reconfigure."""
+        stack = GroupStack(
+            ItemTagging(), StackConfig(n=4, consensus=consensus, fd=fd)
+        )
+        for i in range(10):
+            stack[0].multicast(i, annotation=i % 2)
+        stack.run(until=0.3)
+        stack.crash(3)
+        stack.run(until=0.8)
+        stack[0].trigger_view_change()
+        stack.settle(max_time=20.0)
+        survivors = [stack[p] for p in (0, 1, 2)]
+        assert all(p.cv.vid == 1 for p in survivors)
+        assert all(p.cv.members == frozenset({0, 1, 2}) for p in survivors)
+        stack.drain_all()
+        assert check_all(stack.recorder, stack.relation) == []
+
+
+class TestHelpers:
+    def test_settle_returns_when_quiet(self):
+        stack = GroupStack(ItemTagging(), StackConfig(n=3))
+        stack[0].trigger_view_change()
+        stack.settle(max_time=10.0)
+        assert not any(p.blocked for p in stack)
+
+    def test_live_members_excludes_crashed_and_excluded(self):
+        stack = GroupStack(ItemTagging(), StackConfig(n=3))
+        stack.crash(2)
+        stack.run(until=0.5)
+        stack[0].trigger_view_change(leave=(1,))
+        stack.settle(max_time=10.0)
+        assert stack.live_members() == [0]
+
+    def test_drain_all_empties_live_queues(self):
+        stack = GroupStack(ItemTagging(), StackConfig(n=3))
+        stack[0].multicast("x", annotation=None)
+        stack.run(until=0.1)
+        stack.drain_all()
+        assert all(p.pending == 0 for p in stack)

@@ -1,0 +1,161 @@
+"""Unit tests for the metrics collectors."""
+
+import pytest
+
+from repro.metrics.collectors import (
+    BusyTracker,
+    Counter,
+    Histogram,
+    TimeWeightedStat,
+    summarize,
+)
+
+
+class TestCounter:
+    def test_increment(self):
+        c = Counter("x")
+        c.increment()
+        c.increment(4)
+        assert int(c) == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().increment(-1)
+
+
+class TestTimeWeightedStat:
+    def test_mean_of_piecewise_constant_signal(self):
+        stat = TimeWeightedStat()
+        stat.update(1.0, 10.0)  # value 0 for [0,1)
+        stat.update(3.0, 0.0)  # value 10 for [1,3)
+        stat.finish(4.0)  # value 0 for [3,4)
+        assert stat.mean == pytest.approx((0 * 1 + 10 * 2 + 0 * 1) / 4)
+
+    def test_max_and_min_tracked(self):
+        stat = TimeWeightedStat(initial=5.0)
+        stat.update(1.0, 8.0)
+        stat.update(2.0, 2.0)
+        assert stat.maximum == 8.0
+        assert stat.minimum == 2.0
+
+    def test_time_going_backwards_rejected(self):
+        stat = TimeWeightedStat()
+        stat.update(2.0, 1.0)
+        with pytest.raises(ValueError):
+            stat.update(1.0, 2.0)
+
+    def test_mean_before_any_elapsed_time(self):
+        stat = TimeWeightedStat(initial=7.0)
+        assert stat.mean == 7.0
+
+    def test_current_value(self):
+        stat = TimeWeightedStat()
+        stat.update(1.0, 3.0)
+        assert stat.current == 3.0
+
+
+class TestBusyTracker:
+    def test_fraction_of_busy_time(self):
+        t = BusyTracker()
+        t.enter(1.0)
+        t.leave(3.0)
+        assert t.fraction(4.0) == pytest.approx(0.5)
+
+    def test_open_interval_counted_by_fraction(self):
+        t = BusyTracker()
+        t.enter(2.0)
+        assert t.fraction(4.0) == pytest.approx(0.5)
+
+    def test_double_enter_ignored(self):
+        t = BusyTracker()
+        t.enter(1.0)
+        t.enter(2.0)
+        t.leave(3.0)
+        assert t.total_busy == pytest.approx(2.0)
+
+    def test_leave_without_enter_ignored(self):
+        t = BusyTracker()
+        t.leave(1.0)
+        assert t.total_busy == 0.0
+
+    def test_finish_closes_open_interval(self):
+        t = BusyTracker()
+        t.enter(1.0)
+        t.finish(2.0)
+        assert t.total_busy == pytest.approx(1.0)
+        assert not t.busy
+
+    def test_interval_ends_before_start_rejected(self):
+        t = BusyTracker()
+        t.enter(5.0)
+        with pytest.raises(ValueError):
+            t.leave(4.0)
+
+    def test_intervals_recorded(self):
+        t = BusyTracker()
+        t.enter(1.0)
+        t.leave(2.0)
+        t.enter(3.0)
+        t.leave(4.0)
+        assert t.intervals == [(1.0, 2.0), (3.0, 4.0)]
+
+    def test_zero_elapsed_fraction(self):
+        assert BusyTracker().fraction(0.0) == 0.0
+
+
+class TestHistogram:
+    def test_observe_and_percentages(self):
+        h = Histogram()
+        h.observe(1, count=3)
+        h.observe(2, count=1)
+        assert h.percentage(1) == pytest.approx(75.0)
+        assert h.percentage(2) == pytest.approx(25.0)
+        assert h.percentage(3) == 0.0
+
+    def test_items_sorted(self):
+        h = Histogram()
+        h.observe(5)
+        h.observe(1)
+        assert [v for v, _ in h.items()] == [1, 5]
+
+    def test_mean(self):
+        h = Histogram()
+        h.observe(2, count=2)
+        h.observe(4, count=2)
+        assert h.mean() == pytest.approx(3.0)
+
+    def test_quantile(self):
+        h = Histogram()
+        for v in range(1, 11):
+            h.observe(v)
+        assert h.quantile(0.5) == 5
+        assert h.quantile(1.0) == 10
+        assert h.quantile(0.0) == 0 or h.quantile(0.0) == 1
+
+    def test_quantile_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.mean() == 0.0
+        assert h.percentage(1) == 0.0
+        assert h.quantile(0.9) == 0
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.stdev == pytest.approx(0.8164965809)
+
+    def test_empty_sample(self):
+        s = summarize([])
+        assert s.count == 0 and s.mean == 0.0
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.stdev == 0.0

@@ -1,0 +1,131 @@
+"""Integration tests for primary-backup replication over SVS.
+
+The observable the paper cares about (Section 4): replicas have equal
+state at view boundaries, so fail-over to any survivor is safe.
+"""
+
+import pytest
+
+from repro.core.spec import check_all
+from repro.gcs.stack import StackConfig
+from repro.replication.primary_backup import ReplicatedCluster
+from repro.replication.state import StoreOp
+
+
+def drive_updates(cluster, count, items=4, start=0):
+    """Submit ``count`` set-requests round-robin over ``items`` items."""
+    for i in range(start, start + count):
+        submitted = cluster.submit(StoreOp("set", i % items, f"v{i}"))
+        assert submitted
+
+
+class TestReplication:
+    def test_backups_converge_to_primary_state(self):
+        cluster = ReplicatedCluster(n=3)
+        drive_updates(cluster, 20)
+        cluster.run(until=1.0)
+        stores = [s.store for s in cluster.servers.values()]
+        assert stores[0] == stores[1] == stores[2]
+        assert stores[0].get(0) is not None
+
+    def test_primary_is_lowest_pid(self):
+        cluster = ReplicatedCluster(n=3)
+        assert cluster.primary().pid == 0
+
+    def test_backup_refuses_requests(self):
+        cluster = ReplicatedCluster(n=3)
+        backup = cluster.servers[1]
+        assert not backup.handle_request(StoreOp("set", 1, "x"))
+        assert backup.requests_refused == 1
+
+    def test_create_and_destroy_replicate(self):
+        cluster = ReplicatedCluster(n=3)
+        cluster.submit(StoreOp("create", 10, "alive"))
+        cluster.run(until=0.5)
+        assert all(10 in s.store for s in cluster.servers.values())
+        cluster.submit(StoreOp("destroy", 10))
+        cluster.run(until=1.0)
+        assert all(10 not in s.store for s in cluster.servers.values())
+
+
+class TestFailover:
+    def test_new_primary_after_crash(self):
+        cluster = ReplicatedCluster(n=3)
+        drive_updates(cluster, 10)
+        cluster.run(until=0.5)
+        crashed = cluster.crash_primary()
+        assert crashed == 0
+        cluster.run(until=5.0)  # suspicion -> auto view change
+        new_primary = cluster.primary()
+        assert new_primary is not None and new_primary.pid == 1
+
+    def test_service_continues_after_failover(self):
+        cluster = ReplicatedCluster(n=3)
+        drive_updates(cluster, 10)
+        cluster.run(until=0.5)
+        cluster.crash_primary()
+        cluster.run(until=5.0)
+        drive_updates(cluster, 10, start=10)
+        cluster.run(until=6.0)
+        live = cluster.live_servers()
+        assert len(live) == 2
+        assert live[0].store == live[1].store
+        # The post-failover updates actually landed.
+        assert any("v19" == v for _, v in live[0].store.items())
+
+    def test_state_carried_across_failover(self):
+        cluster = ReplicatedCluster(n=3)
+        cluster.submit(StoreOp("set", 99, "precious"))
+        cluster.run(until=0.5)
+        cluster.crash_primary()
+        cluster.run(until=5.0)
+        assert cluster.primary().store.get(99) == "precious"
+
+
+class TestViewBoundaryConsistency:
+    def test_snapshots_agree_per_view(self):
+        """The SVS consistency guarantee, observed at the application."""
+        cluster = ReplicatedCluster(
+            n=3, consumer_rates={2: 40.0}  # one slow backup
+        )
+        drive_updates(cluster, 50, items=3)
+        cluster.run(until=0.5)
+        # Reconfigure while replica 2 still has a backlog.
+        cluster.stack.processes[0].trigger_view_change()
+        cluster.run(until=5.0)
+        drive_updates(cluster, 20, items=3, start=50)
+        cluster.run(until=10.0)
+        by_view = cluster.snapshots_by_view()
+        assert by_view, "no view snapshots recorded"
+        for vid, digests in by_view.items():
+            assert len(set(digests.values())) == 1, (
+                f"stores diverge at view {vid}: {digests}"
+            )
+
+    def test_slow_backup_skips_but_converges(self):
+        cluster = ReplicatedCluster(n=3, consumer_rates={2: 30.0})
+        # Pace the updates at 100/s so fast replicas consume each one while
+        # the 30/s replica falls behind and purges.
+        sim = cluster.sim
+        for i in range(60):
+            sim.schedule(
+                i * 0.01, cluster.submit, StoreOp("set", i % 2, f"v{i}")
+            )
+        cluster.run(until=5.0)
+        slow = cluster.servers[2]
+        fast = cluster.servers[0]
+        assert slow.store == fast.store
+        # Purging means the slow replica applied fewer ops.
+        assert slow.store.ops_applied < fast.store.ops_applied
+
+    def test_protocol_safety_holds(self):
+        cluster = ReplicatedCluster(n=3, consumer_rates={1: 50.0})
+        drive_updates(cluster, 40, items=3)
+        cluster.run(until=0.5)
+        cluster.stack.processes[0].trigger_view_change()
+        cluster.run(until=8.0)
+        for consumer in cluster.consumers.values():
+            consumer.rate = 100_000.0
+        cluster.run(until=12.0)
+        violations = check_all(cluster.stack.recorder, cluster.stack.relation)
+        assert violations == []

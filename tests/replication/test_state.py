@@ -1,0 +1,76 @@
+"""Unit tests for the replicated item store."""
+
+import pytest
+
+from repro.replication.state import ItemStore, ItemValue, StoreOp, apply_op
+
+
+class TestStoreOp:
+    def test_valid_kinds(self):
+        for kind in ("set", "create", "destroy"):
+            StoreOp(kind, 1, "v")
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            StoreOp("increment", 1)
+
+
+class TestItemStore:
+    def test_set_and_get(self):
+        store = ItemStore()
+        store.apply(StoreOp("set", 1, "a"), sn=0)
+        assert store.get(1) == "a"
+        assert store.version(1) == 0
+        assert 1 in store
+
+    def test_overwrite_updates_value_and_version(self):
+        store = ItemStore()
+        store.apply(StoreOp("set", 1, "a"), sn=0)
+        store.apply(StoreOp("set", 1, "b"), sn=5)
+        assert store.get(1) == "b"
+        assert store.version(1) == 5
+
+    def test_create_then_destroy(self):
+        store = ItemStore()
+        store.apply(StoreOp("create", 2, "born"), sn=0)
+        assert 2 in store
+        store.apply(StoreOp("destroy", 2), sn=1)
+        assert 2 not in store
+        assert store.get(2) is None
+
+    def test_destroy_missing_item_is_noop(self):
+        store = ItemStore()
+        store.apply(StoreOp("destroy", 9), sn=0)
+        assert len(store) == 0
+
+    def test_items_sorted(self):
+        store = ItemStore()
+        store.apply(StoreOp("set", 3, "c"), sn=0)
+        store.apply(StoreOp("set", 1, "a"), sn=1)
+        assert store.items() == [(1, "a"), (3, "c")]
+
+    def test_digest_equality(self):
+        a, b = ItemStore(), ItemStore()
+        a.apply(StoreOp("set", 1, "x"), sn=0)
+        b.apply(StoreOp("set", 1, "x"), sn=7)  # different sn, same value
+        assert a.digest() == b.digest()
+        assert a == b
+
+    def test_digest_differs_on_value(self):
+        a, b = ItemStore(), ItemStore()
+        a.apply(StoreOp("set", 1, "x"), sn=0)
+        b.apply(StoreOp("set", 1, "y"), sn=0)
+        assert a != b
+
+    def test_snapshot_is_stable(self):
+        store = ItemStore()
+        store.apply(StoreOp("set", 1, "x"), sn=0)
+        snap = store.snapshot()
+        store.apply(StoreOp("set", 1, "y"), sn=1)
+        assert snap[1] == ItemValue("x", 0)
+
+    def test_ops_applied_counter(self):
+        store = ItemStore()
+        apply_op(store, StoreOp("set", 1, "x"), 0)
+        apply_op(store, StoreOp("destroy", 1), 1)
+        assert store.ops_applied == 2

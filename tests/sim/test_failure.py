@@ -1,0 +1,123 @@
+"""Unit tests for fault and perturbation injection."""
+
+import pytest
+
+from repro.sim.failure import (
+    CrashSchedule,
+    Perturbation,
+    PerturbationSchedule,
+    periodic_perturbations,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.process import SimProcess
+
+
+class Dummy(SimProcess):
+    def on_message(self, sender, payload):
+        pass
+
+
+class FakePausable:
+    def __init__(self):
+        self.log = []
+
+    def pause(self):
+        self.log.append("pause")
+
+    def resume(self):
+        self.log.append("resume")
+
+
+class TestCrashSchedule:
+    def test_crashes_at_scheduled_times(self):
+        sim = Simulator()
+        net = Network(sim)
+        a, b = Dummy(0, sim, net), Dummy(1, sim, net)
+        CrashSchedule(sim, [(1.0, a), (2.0, b)]).install()
+        sim.run(until=1.5)
+        assert a.crashed and not b.crashed
+        sim.run()
+        assert b.crashed
+
+    def test_double_install_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        a = Dummy(0, sim, net)
+        schedule = CrashSchedule(sim, [(1.0, a)])
+        schedule.install()
+        with pytest.raises(RuntimeError):
+            schedule.install()
+
+
+class TestPerturbationSchedule:
+    def test_pause_resume_cycle(self):
+        sim = Simulator()
+        target = FakePausable()
+        PerturbationSchedule(sim, target, [Perturbation(1.0, 0.5)]).install()
+        sim.run()
+        assert target.log == ["pause", "resume"]
+
+    def test_overlapping_windows_merge(self):
+        sim = Simulator()
+        target = FakePausable()
+        schedule = PerturbationSchedule(
+            sim,
+            target,
+            [Perturbation(1.0, 2.0), Perturbation(2.0, 2.0)],
+        )
+        schedule.install()
+        sim.run()
+        # One logical pause from 1.0 to 4.0, not two.
+        assert target.log == ["pause", "resume"]
+
+    def test_disjoint_windows_each_cycle(self):
+        sim = Simulator()
+        target = FakePausable()
+        PerturbationSchedule(
+            sim, target, [Perturbation(1.0, 0.5), Perturbation(3.0, 0.5)]
+        ).install()
+        sim.run()
+        assert target.log == ["pause", "resume", "pause", "resume"]
+
+    def test_negative_duration_rejected(self):
+        sim = Simulator()
+        schedule = PerturbationSchedule(
+            sim, FakePausable(), [Perturbation(1.0, -1.0)]
+        )
+        with pytest.raises(ValueError):
+            schedule.install()
+
+    def test_total_stall_time(self):
+        sim = Simulator()
+        schedule = PerturbationSchedule(
+            sim, FakePausable(), [Perturbation(0.0, 1.0), Perturbation(5.0, 2.0)]
+        )
+        assert schedule.total_stall_time == 3.0
+
+    def test_double_install_rejected(self):
+        sim = Simulator()
+        schedule = PerturbationSchedule(sim, FakePausable(), [])
+        schedule.install()
+        with pytest.raises(RuntimeError):
+            schedule.install()
+
+
+class TestPeriodicPerturbations:
+    def test_builds_equally_spaced_windows(self):
+        windows = periodic_perturbations(
+            first_start=1.0, duration=0.5, period=2.0, count=3
+        )
+        assert [w.start for w in windows] == [1.0, 3.0, 5.0]
+        assert all(w.duration == 0.5 for w in windows)
+
+    def test_zero_count_gives_empty(self):
+        assert periodic_perturbations(0.0, 1.0, 1.0, 0) == []
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            periodic_perturbations(0.0, 1.0, 0.0, 1)
+
+    def test_end_property(self):
+        p = Perturbation(2.0, 0.75)
+        assert p.end == 2.75

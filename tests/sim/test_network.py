@@ -1,0 +1,182 @@
+"""Unit tests for the simulated network: FIFO reliability and fault hooks."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import ConstantLatency, Network, UniformLatency
+from repro.sim.process import SimProcess
+
+
+class Sink(SimProcess):
+    def __init__(self, pid, sim, network):
+        super().__init__(pid, sim, network)
+        self.received = []
+
+    def on_message(self, sender, payload):
+        self.received.append((sender, payload, self.sim.now))
+
+
+def build(n=2, latency=None):
+    sim = Simulator(seed=9)
+    net = Network(sim, latency)
+    procs = [Sink(i, sim, net) for i in range(n)]
+    return sim, net, procs
+
+
+class TestDelivery:
+    def test_basic_delivery(self):
+        sim, net, (a, b) = build()
+        net.send(0, 1, "x")
+        sim.run()
+        assert b.received[0][:2] == (0, "x")
+
+    def test_constant_latency_applied(self):
+        sim, net, (a, b) = build(latency=ConstantLatency(0.5))
+        net.send(0, 1, "x")
+        sim.run()
+        assert b.received[0][2] == pytest.approx(0.5)
+
+    def test_send_to_unknown_destination_is_dropped(self):
+        sim, net, (a, b) = build()
+        net.send(0, 99, "void")
+        sim.run()  # must not raise
+
+    def test_self_send_goes_through_network(self):
+        sim, net, (a, b) = build(latency=ConstantLatency(0.1))
+        net.send(0, 0, "me")
+        sim.run()
+        assert a.received[0][:2] == (0, "me")
+
+    def test_counters(self):
+        sim, net, (a, b) = build()
+        net.send(0, 1, "x")
+        net.send(0, 1, "y")
+        sim.run()
+        assert net.messages_sent == 2
+        assert net.messages_delivered == 2
+        stats = net.channel_stats(0, 1)
+        assert stats.sent == 2 and stats.delivered == 2
+
+    def test_duplicate_attach_rejected(self):
+        sim, net, procs = build()
+        with pytest.raises(ValueError):
+            net.attach(procs[0])
+
+
+class TestFIFO:
+    def test_fifo_under_constant_latency(self):
+        sim, net, (a, b) = build(latency=ConstantLatency(0.01))
+        for i in range(20):
+            net.send(0, 1, i)
+        sim.run()
+        assert [p for _, p, _ in b.received] == list(range(20))
+
+    def test_fifo_preserved_under_jitter(self):
+        # Random latency must not reorder messages on one channel.
+        sim = Simulator(seed=7)
+        net = Network(sim, UniformLatency(sim, 0.0, 1.0))
+        b = Sink(1, sim, net)
+        Sink(0, sim, net)
+        for i in range(50):
+            sim.schedule(i * 0.001, net.send, 0, 1, i)
+        sim.run()
+        assert [p for _, p, _ in b.received] == list(range(50))
+
+    def test_independent_channels_not_serialized(self):
+        sim, net, procs = build(n=3, latency=ConstantLatency(0.1))
+        net.send(0, 2, "from0")
+        net.send(1, 2, "from1")
+        sim.run()
+        assert len(procs[2].received) == 2
+
+
+class TestLatencyModels:
+    def test_uniform_latency_range_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            UniformLatency(sim, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformLatency(sim, 2.0, 1.0)
+
+    def test_uniform_latency_within_bounds(self):
+        sim = Simulator(seed=3)
+        model = UniformLatency(sim, 0.2, 0.4)
+        for _ in range(100):
+            assert 0.2 <= model.sample(0, 1) <= 0.4
+
+    def test_uniform_latency_deterministic_per_seed(self):
+        def draws(seed):
+            sim = Simulator(seed=seed)
+            model = UniformLatency(sim, 0.0, 1.0)
+            return [model.sample(0, 1) for _ in range(5)]
+
+        assert draws(11) == draws(11)
+        assert draws(11) != draws(12)
+
+
+class TestFaultInjection:
+    def test_cut_drops_messages(self):
+        sim, net, (a, b) = build()
+        net.cut(0, 1)
+        net.send(0, 1, "lost")
+        sim.run()
+        assert b.received == []
+        assert net.messages_dropped == 1
+
+    def test_cut_is_bidirectional_by_default(self):
+        sim, net, (a, b) = build()
+        net.cut(0, 1)
+        net.send(1, 0, "lost")
+        sim.run()
+        assert a.received == []
+
+    def test_unidirectional_cut(self):
+        sim, net, (a, b) = build()
+        net.cut(0, 1, bidirectional=False)
+        net.send(1, 0, "ok")
+        sim.run()
+        assert a.received != []
+
+    def test_heal_restores_channel(self):
+        sim, net, (a, b) = build()
+        net.cut(0, 1)
+        net.heal(0, 1)
+        net.send(0, 1, "back")
+        sim.run()
+        assert b.received != []
+
+    def test_partition_and_heal_all(self):
+        sim, net, procs = build(n=4)
+        net.partition({0, 1}, {2, 3})
+        net.send(0, 2, "x")
+        net.send(0, 1, "y")
+        sim.run()
+        assert procs[2].received == []
+        assert procs[1].received != []
+        net.heal_all()
+        net.send(0, 2, "z")
+        sim.run()
+        assert procs[2].received != []
+
+    def test_drop_filter(self):
+        sim, net, (a, b) = build()
+        net.set_drop_filter(lambda src, dst, payload: payload == "bad")
+        net.send(0, 1, "bad")
+        net.send(0, 1, "good")
+        sim.run()
+        assert [p for _, p, _ in b.received] == ["good"]
+
+    def test_delay_filter_adds_latency(self):
+        sim, net, (a, b) = build(latency=ConstantLatency(0.1))
+        net.set_delay_filter(lambda src, dst, payload: 1.0)
+        net.send(0, 1, "slow")
+        sim.run()
+        assert b.received[0][2] == pytest.approx(1.1)
+
+    def test_clearing_filters(self):
+        sim, net, (a, b) = build()
+        net.set_drop_filter(lambda *_: True)
+        net.set_drop_filter(None)
+        net.send(0, 1, "x")
+        sim.run()
+        assert b.received != []

@@ -1,0 +1,130 @@
+"""Calibration and determinism tests for the game trace generator.
+
+The bands assert that the generator stays on the paper's Section 5.2
+aggregates (with tolerance for seed variation) — these are the numbers the
+whole evaluation depends on.
+"""
+
+import pytest
+
+from repro.workload.game import GameConfig, GameTraceGenerator, generate_game_trace
+from repro.workload.trace import MessageKind, compute_stats, item_rank_profile
+
+
+@pytest.fixture(scope="module")
+def default_trace():
+    return generate_game_trace(GameConfig())
+
+
+class TestCalibration:
+    def test_message_rate_near_paper(self, default_trace):
+        stats = compute_stats(default_trace)
+        assert 36.0 <= stats.message_rate <= 50.0  # paper ≈ 42 msg/s
+
+    def test_modified_items_per_round(self, default_trace):
+        stats = compute_stats(default_trace)
+        assert 1.1 <= stats.mean_modified_per_round <= 1.6  # paper 1.39
+
+    def test_active_items_near_paper(self, default_trace):
+        stats = compute_stats(default_trace)
+        assert 38.0 <= stats.mean_active_items <= 47.0  # paper 42.33
+
+    def test_never_obsolete_share_near_paper(self, default_trace):
+        stats = compute_stats(default_trace)
+        assert 0.36 <= stats.never_obsolete_share <= 0.48  # paper 41.88 %
+
+    def test_top_item_round_coverage(self, default_trace):
+        rank1 = item_rank_profile(default_trace, top=1)[0][1]
+        assert 14.0 <= rank1 <= 30.0  # paper ≈ 22 % of rounds
+
+    def test_rank_profile_is_heavy_tailed(self, default_trace):
+        profile = item_rank_profile(default_trace, top=30)
+        assert profile[0][1] > 3 * profile[9][1]
+        # Some items never modified at all (paper's observation).
+        assert profile[-1][1] < profile[0][1] / 10
+
+    def test_related_messages_are_close(self, default_trace):
+        from repro.workload.trace import obsolescence_distances
+
+        hist = obsolescence_distances(default_trace, max_distance=20)
+        within_10 = sum(hist.count(d) for d in range(1, 11))
+        assert within_10 / hist.total > 0.6  # "often within 10 messages"
+
+    def test_round_count_matches_config(self, default_trace):
+        assert default_trace.rounds == 11696
+
+
+class TestStructure:
+    def test_every_projectile_created_before_updates_and_destroyed(self):
+        trace = generate_game_trace(GameConfig(rounds=600, seed=3))
+        world = GameConfig(rounds=600, seed=3).world_items
+        state = {}
+        for msg in trace.messages:
+            if msg.item < world:
+                continue  # world items are never created/destroyed
+            if msg.kind is MessageKind.CREATE:
+                assert msg.item not in state
+                state[msg.item] = "alive"
+            elif msg.kind is MessageKind.UPDATE:
+                assert state.get(msg.item) == "alive"
+            elif msg.kind is MessageKind.DESTROY:
+                assert state.pop(msg.item) == "alive"
+
+    def test_indices_sequential_and_times_monotone(self):
+        trace = generate_game_trace(GameConfig(rounds=300))
+        assert [m.index for m in trace.messages] == list(range(len(trace)))
+        times = [m.time for m in trace.messages]
+        assert times == sorted(times)
+
+    def test_active_per_round_recorded(self):
+        trace = generate_game_trace(GameConfig(rounds=100))
+        assert len(trace.active_per_round) == 100
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_game_trace(GameConfig(rounds=400, seed=11))
+        b = generate_game_trace(GameConfig(rounds=400, seed=11))
+        assert a.messages == b.messages
+
+    def test_different_seed_different_trace(self):
+        a = generate_game_trace(GameConfig(rounds=400, seed=11))
+        b = generate_game_trace(GameConfig(rounds=400, seed=12))
+        assert a.messages != b.messages
+
+
+class TestConfigValidation:
+    def test_bad_rounds(self):
+        with pytest.raises(ValueError):
+            GameConfig(rounds=0)
+
+    def test_bad_world_items(self):
+        with pytest.raises(ValueError):
+            GameConfig(world_items=0)
+
+    def test_bad_players(self):
+        with pytest.raises(ValueError):
+            GameConfig(players=0)
+
+
+class TestPlayerScaling:
+    """Section 5.2's last paragraph: more players -> higher rate, lower
+    never-obsolete share, larger distances."""
+
+    @pytest.fixture(scope="class")
+    def scaling(self):
+        base = GameConfig(rounds=3000)
+        out = {}
+        for players in (2, 5, 12):
+            trace = generate_game_trace(base.scaled_for_players(players))
+            out[players] = compute_stats(trace)
+        return out
+
+    def test_rate_increases_with_players(self, scaling):
+        assert scaling[2].message_rate < scaling[5].message_rate < scaling[12].message_rate
+
+    def test_never_obsolete_share_decreases(self, scaling):
+        assert scaling[12].never_obsolete_share < scaling[2].never_obsolete_share
+
+    def test_distance_increases(self, scaling):
+        assert scaling[12].mean_obsolescence_distance > scaling[2].mean_obsolescence_distance

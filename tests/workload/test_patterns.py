@@ -1,0 +1,69 @@
+"""Unit tests for the synthetic traffic patterns."""
+
+import pytest
+
+from repro.workload.patterns import mixed_stream, periodic_updates, single_item_stream
+from repro.workload.trace import MessageKind, compute_stats, obsolescence_distances
+
+
+class TestPeriodicUpdates:
+    def test_round_robin_items(self):
+        trace = periodic_updates(items=3, messages=6, rate=10.0)
+        assert [m.item for m in trace.messages] == [0, 1, 2, 0, 1, 2]
+
+    def test_distance_exactly_items(self):
+        trace = periodic_updates(items=4, messages=20, rate=10.0)
+        hist = obsolescence_distances(trace)
+        assert hist.items() == [(4, 16)]
+
+    def test_rate_spacing(self):
+        trace = periodic_updates(items=1, messages=3, rate=2.0)
+        assert [m.time for m in trace.messages] == [0.0, 0.5, 1.0]
+
+    def test_never_obsolete_share_is_items_over_messages(self):
+        trace = periodic_updates(items=5, messages=50, rate=10.0)
+        stats = compute_stats(trace)
+        assert stats.never_obsolete_share == pytest.approx(5 / 50)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            periodic_updates(items=0, messages=1, rate=1.0)
+        with pytest.raises(ValueError):
+            periodic_updates(items=1, messages=1, rate=0.0)
+
+
+class TestSingleItemStream:
+    def test_all_same_item(self):
+        trace = single_item_stream(messages=10, rate=5.0)
+        assert {m.item for m in trace.messages} == {0}
+
+    def test_only_last_never_obsolete(self):
+        trace = single_item_stream(messages=10, rate=5.0)
+        assert compute_stats(trace).never_obsolete_share == pytest.approx(0.1)
+
+
+class TestMixedStream:
+    def test_reliable_share_respected(self):
+        trace = mixed_stream(messages=2000, rate=100.0, reliable_share=0.4, seed=1)
+        events = sum(1 for m in trace.messages if m.kind is MessageKind.EVENT)
+        assert 0.35 <= events / 2000 <= 0.45
+
+    def test_extremes(self):
+        all_updates = mixed_stream(messages=100, rate=10.0, reliable_share=0.0)
+        assert all(m.kind is MessageKind.UPDATE for m in all_updates.messages)
+        all_events = mixed_stream(messages=100, rate=10.0, reliable_share=1.0)
+        assert all(m.kind is MessageKind.EVENT for m in all_events.messages)
+
+    def test_event_items_unique(self):
+        trace = mixed_stream(messages=200, rate=10.0, reliable_share=1.0)
+        items = [m.item for m in trace.messages]
+        assert len(items) == len(set(items))
+
+    def test_invalid_share_rejected(self):
+        with pytest.raises(ValueError):
+            mixed_stream(messages=1, rate=1.0, reliable_share=1.5)
+
+    def test_deterministic_per_seed(self):
+        a = mixed_stream(messages=100, rate=10.0, seed=3)
+        b = mixed_stream(messages=100, rate=10.0, seed=3)
+        assert a.messages == b.messages

@@ -1,0 +1,179 @@
+"""Unit tests for trace structures, statistics and annotation."""
+
+import pytest
+
+from repro.core.obsolescence import ItemTagging, KEnumeration, MessageEnumeration
+from repro.workload.trace import (
+    MessageKind,
+    Trace,
+    TraceMessage,
+    compute_stats,
+    item_rank_profile,
+    obsolescence_distances,
+    to_data_messages,
+)
+
+
+def build_trace(spec, fps=10.0):
+    """spec: list of (round, item, kind) tuples."""
+    messages = [
+        TraceMessage(index=i, round=r, time=r / fps, item=item, kind=kind)
+        for i, (r, item, kind) in enumerate(spec)
+    ]
+    rounds = max((r for r, _, _ in spec), default=0) + 1
+    return Trace(
+        messages=messages,
+        rounds=rounds,
+        fps=fps,
+        active_per_round=[3] * rounds,
+    )
+
+
+U, C, D, E = (
+    MessageKind.UPDATE,
+    MessageKind.CREATE,
+    MessageKind.DESTROY,
+    MessageKind.EVENT,
+)
+
+
+class TestTraceBasics:
+    def test_duration_and_rate(self):
+        trace = build_trace([(0, 1, U), (1, 1, U)], fps=10.0)
+        assert trace.duration == pytest.approx(0.2)
+        assert trace.message_rate == pytest.approx(10.0)
+
+    def test_len_and_iter(self):
+        trace = build_trace([(0, 1, U), (0, 2, U)])
+        assert len(trace) == 2
+        assert [m.item for m in trace] == [1, 2]
+
+    def test_obsolescible_kinds(self):
+        assert U.obsolescible
+        assert not C.obsolescible
+        assert not D.obsolescible
+        assert not E.obsolescible
+
+
+class TestStats:
+    def test_never_obsolete_share(self):
+        # item 1 updated twice (first becomes obsolete), item 2 once,
+        # plus one CREATE: 3 of 4 never obsolete.
+        trace = build_trace([(0, 1, U), (1, 1, U), (2, 2, U), (3, 3, C)])
+        stats = compute_stats(trace)
+        assert stats.never_obsolete_share == pytest.approx(0.75)
+
+    def test_all_updates_same_item(self):
+        trace = build_trace([(i, 1, U) for i in range(5)])
+        stats = compute_stats(trace)
+        assert stats.never_obsolete_share == pytest.approx(1 / 5)
+
+    def test_modified_counts_distinct_items_per_round(self):
+        trace = build_trace([(0, 1, U), (0, 1, U), (0, 2, U), (1, 1, U)])
+        stats = compute_stats(trace)
+        assert stats.mean_modified_per_round == pytest.approx((2 + 1) / 2)
+
+    def test_mean_active_items(self):
+        trace = build_trace([(0, 1, U)])
+        assert compute_stats(trace).mean_active_items == 3.0
+
+    def test_empty_trace(self):
+        trace = Trace(messages=[], rounds=1, fps=30.0, active_per_round=[0])
+        stats = compute_stats(trace)
+        assert stats.never_obsolete_share == 1.0
+        assert stats.total_messages == 0
+
+
+class TestRankProfile:
+    def test_rank_ordering(self):
+        # item 1 updated in 3 rounds, item 2 in 1 round.
+        trace = build_trace([(0, 1, U), (1, 1, U), (2, 1, U), (0, 2, U)])
+        profile = item_rank_profile(trace, top=3)
+        assert profile[0] == (1, pytest.approx(100.0))
+        assert profile[1] == (2, pytest.approx(100 / 3))
+        assert profile[2] == (3, 0.0)
+
+    def test_multiple_updates_same_round_count_once(self):
+        trace = build_trace([(0, 1, U), (0, 1, U)])
+        profile = item_rank_profile(trace, top=1)
+        assert profile[0][1] == pytest.approx(100.0)
+
+    def test_non_updates_ignored(self):
+        trace = build_trace([(0, 1, C), (1, 1, D)])
+        assert item_rank_profile(trace, top=1)[0][1] == 0.0
+
+
+class TestDistances:
+    def test_distance_between_related_messages(self):
+        # stream: U(1) U(2) U(1) -> distance from index 0 to 2 is 2.
+        trace = build_trace([(0, 1, U), (0, 2, U), (1, 1, U)])
+        hist = obsolescence_distances(trace)
+        assert hist.count(2) == 1
+        assert hist.total == 1
+
+    def test_clamping_to_max_distance(self):
+        spec = [(0, 1, U)] + [(0, i + 10, U) for i in range(30)] + [(1, 1, U)]
+        trace = build_trace(spec)
+        hist = obsolescence_distances(trace, max_distance=20)
+        assert hist.count(20) == 1
+
+    def test_unrelated_messages_no_distance(self):
+        trace = build_trace([(0, 1, U), (0, 2, U)])
+        assert obsolescence_distances(trace).total == 0
+
+
+class TestAnnotation:
+    def stream(self):
+        return build_trace(
+            [(0, 1, U), (0, 2, U), (1, 1, U), (1, 3, C), (2, 1, U), (2, 2, U)]
+        )
+
+    def test_tagging_annotation(self):
+        msgs, rel = to_data_messages(self.stream(), "tagging")
+        assert isinstance(rel, ItemTagging)
+        assert msgs[0].annotation == 1
+        assert msgs[3].annotation is None  # CREATE never obsolete
+
+    def test_k_enumeration_annotation(self):
+        msgs, rel = to_data_messages(self.stream(), "k-enumeration", k=8)
+        assert isinstance(rel, KEnumeration)
+        # msg 2 updates item 1, two positions after msg 0.
+        assert rel.obsoletes(msgs[2], msgs[0])
+        # CREATE carries an empty bitmap.
+        assert msgs[3].annotation == 0
+
+    def test_enumeration_annotation(self):
+        msgs, rel = to_data_messages(self.stream(), "enumeration")
+        assert isinstance(rel, MessageEnumeration)
+        assert rel.obsoletes(msgs[4], msgs[2])
+        assert rel.obsoletes(msgs[4], msgs[0])  # transitive closure
+
+    def test_representations_agree_within_window(self):
+        trace = self.stream()
+        tag_msgs, tag_rel = to_data_messages(trace, "tagging")
+        k_msgs, k_rel = to_data_messages(trace, "k-enumeration", k=16)
+        enum_msgs, enum_rel = to_data_messages(trace, "enumeration")
+        n = len(trace)
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                expected = tag_rel.obsoletes(tag_msgs[i], tag_msgs[j])
+                # Tagging relates ALL same-item pairs; k-enum and explicit
+                # enumeration relate chains built from consecutive updates,
+                # which closure makes equal here (window is large enough).
+                assert k_rel.obsoletes(k_msgs[i], k_msgs[j]) == expected
+                assert enum_rel.obsoletes(enum_msgs[i], enum_msgs[j]) == expected
+
+    def test_unknown_representation_rejected(self):
+        with pytest.raises(ValueError):
+            to_data_messages(self.stream(), "telepathy")
+
+    def test_sequence_numbers_match_indices(self):
+        msgs, _ = to_data_messages(self.stream(), "tagging")
+        assert [m.sn for m in msgs] == list(range(len(msgs)))
+
+    def test_payload_is_trace_message(self):
+        trace = self.stream()
+        msgs, _ = to_data_messages(trace, "k-enumeration", k=4)
+        assert msgs[0].payload is trace.messages[0]
