@@ -9,53 +9,36 @@ unstable suffix.
 
 This bench loads a group for 20 simulated seconds of game-rate traffic and
 triggers a view change, with and without stability tracking, comparing the
-PRED payload each member ships.
+PRED payload each member ships.  The session is declared with the Scenario
+builder (trace replay, periodic bulk drain, PRED-size listener).
 """
 
 from conftest import run_once
 
-from repro.core.obsolescence import ItemTagging
-from repro.gcs.stack import GroupStack, StackConfig
-from repro.workload.game import GameConfig, generate_game_trace
+from repro import Scenario, workloads
 
 
 def _pred_sizes(stability_interval):
-    trace = generate_game_trace(GameConfig(rounds=600, seed=12))  # 20 s
-    stack = GroupStack(
-        ItemTagging(),
-        StackConfig(
-            n=3, consensus="chandra-toueg", stability_interval=stability_interval
-        ),
-    )
-    sim = stack.sim
+    trace = workloads.create("game", rounds=600, seed=12)  # 20 s
     sizes = {}
-    for proc in stack:
-        proc.listeners.on_pred = lambda pid, size: sizes.__setitem__(pid, size)
-
-    messages = trace.messages
-
-    def inject(index):
-        if index >= len(messages):
-            return
-        msg = messages[index]
-        annotation = msg.item if msg.kind.obsolescible else None
-        stack[0].multicast(("m", msg.index), annotation=annotation)
-        if index + 1 < len(messages):
-            nxt = messages[index + 1]
-            sim.schedule(max(0.0, nxt.time - sim.now), inject, index + 1)
-
-    sim.schedule_at(0.0, inject, 0)
-
-    def consume():
-        for proc in stack:
-            proc.drain()
-        sim.schedule(0.01, consume)
-
-    sim.schedule(0.01, consume)
-    sim.run(until=trace.duration)
-    stack[0].trigger_view_change()
-    stack.settle(max_time=20.0)
-    return sizes, len(messages)
+    live = (
+        Scenario()
+        .group(
+            n=3,
+            relation="item-tagging",
+            consensus="chandra-toueg",
+            stability_interval=stability_interval,
+        )
+        .workload(trace, sender=0)
+        .drain_every(0.01)
+        .listeners(on_pred=lambda pid, size: sizes.__setitem__(pid, size))
+        .check(False)
+        .build()
+    )
+    live.run(until=trace.duration, drain=False)
+    live.stack[0].trigger_view_change()
+    live.settle(max_time=20.0)
+    return sizes, len(trace.messages)
 
 
 def run_comparison():

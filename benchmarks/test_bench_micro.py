@@ -7,14 +7,10 @@ ors and small scans.
 
 import pytest
 
+from repro import relations
 from repro.core.buffers import DeliveryQueue
 from repro.core.message import DataMessage, MessageId
-from repro.core.obsolescence import (
-    EnumerationEncoder,
-    ItemTagging,
-    KEnumeration,
-    KEnumerationEncoder,
-)
+from repro.core.obsolescence import EnumerationEncoder, KEnumerationEncoder
 from repro.workload.trace import to_data_messages
 
 
@@ -44,7 +40,7 @@ def test_bench_enumeration_annotation(benchmark):
 
 
 def test_bench_k_relation_query(benchmark):
-    rel = KEnumeration(k=64)
+    rel = relations.create("k-enumeration", k=64)
     new = DataMessage(MessageId(0, 100), 0, annotation=(1 << 64) - 1)
     old = DataMessage(MessageId(0, 60), 0)
 
@@ -69,12 +65,10 @@ def test_bench_queue_try_append_with_purging(benchmark, paper_trace):
 
 def test_bench_queue_fifo_ops(benchmark):
     """Raw append/pop throughput without purging."""
-    from repro.core.obsolescence import EmptyRelation
-
     msgs = [DataMessage(MessageId(0, sn), 0) for sn in range(2_000)]
 
     def pump():
-        queue = DeliveryQueue(EmptyRelation())
+        queue = DeliveryQueue(relations.create("empty"))
         for msg in msgs:
             queue.append(msg)
         while queue:
@@ -91,7 +85,7 @@ def test_bench_item_tagging_purge(benchmark):
     ]
 
     def purge():
-        queue = DeliveryQueue(ItemTagging())
+        queue = DeliveryQueue(relations.create("item-tagging"))
         for msg in msgs:
             queue.append(msg)
         queue.purge()

@@ -1,72 +1,39 @@
 #!/usr/bin/env python
-"""Distributed control & monitoring over SVS.
+"""Distributed control & monitoring over SVS, as a Scenario.
 
 The paper's other motivating domain (Section 1): "distributed control and
 monitoring applications which exhibit also a highly interactive behavior".
 
 A sensor gateway multicasts readings for a field of sensors to three
 monitoring stations.  Readings of the same sensor supersede each other
-(item tagging); alarm messages are never obsolete.  One station suffers a
-transient performance perturbation (Section 2's phenomenon, injected with
-the PerturbationSchedule substrate): it drops behind, purges stale
-readings, and recovers — it keeps every alarm, holds the newest reading of
-every sensor, and is never expelled from the group.
+(item tagging); alarm messages are never obsolete.  One station suffers
+transient performance perturbations (Section 2's phenomenon, declared with
+``Scenario.perturb``): it drops behind, purges stale readings, and
+recovers — it keeps every alarm, holds the newest reading of every sensor,
+and is never expelled from the group.
+
+The publishing loop is a custom traffic driver (``workload(callable)``);
+everything else — group, consumers, perturbations, metrics — is declared.
 
 Run:  python examples/control_monitoring.py
 """
 
-from repro import GroupStack, ItemTagging, StackConfig
+from repro import Scenario
 from repro.core.message import DataMessage
-from repro.gcs.endpoint import GroupEndpoint, RateLimitedConsumer
-from repro.sim.failure import Perturbation, PerturbationSchedule
 
 SENSORS = 8
 READING_RATE = 100.0  # readings per second
 ALARM_EVERY = 50  # one alarm per 50 readings
 RUN_TIME = 20.0
 
+state = {"count": 0}
 
-def main():
-    stack = GroupStack(ItemTagging(), StackConfig(n=4, seed=3))
-    sim = stack.sim
-    gateway = stack[0]
 
-    stations = {}
-    latest = {}
-    alarms = {}
-    for pid in (1, 2, 3):
-        endpoint = GroupEndpoint(stack[pid])
-        latest[pid] = {}
-        alarms[pid] = []
-
-        def on_data(msg: DataMessage, pid=pid):
-            kind, sensor, value = msg.payload
-            if kind == "reading":
-                latest[pid][sensor] = value
-            else:
-                alarms[pid].append((sensor, value))
-
-        endpoint.on_data = on_data
-        stations[pid] = endpoint
-
-    # Stations 1 and 2 keep up easily; station 3 can only process 40 msg/s.
-    consumers = {
-        1: RateLimitedConsumer(sim, stations[1], rate=5_000.0),
-        2: RateLimitedConsumer(sim, stations[2], rate=5_000.0),
-        3: RateLimitedConsumer(sim, stations[3], rate=40.0),
-    }
-    for consumer in consumers.values():
-        consumer.start()
-
-    # Station 3 additionally stalls completely for two 1.5 s windows — the
-    # paper's transient performance perturbation.
-    PerturbationSchedule(
-        sim, consumers[3], [Perturbation(5.0, 1.5), Perturbation(12.0, 1.5)]
-    ).install()
-
-    # The gateway publishes sensor readings round-robin, with periodic
-    # alarms that must never be dropped.
-    state = {"count": 0}
+def publish_traffic(live):
+    """Gateway (pid 0) publishes sensor readings round-robin, with periodic
+    alarms that must never be dropped."""
+    sim = live.sim
+    gateway = live.stack[0]
 
     def publish():
         i = state["count"]
@@ -81,19 +48,46 @@ def main():
             sim.schedule(1.0 / READING_RATE, publish)
 
     sim.schedule(0.0, publish)
-    sim.run(until=RUN_TIME + 10.0)
-    for endpoint in stations.values():
-        endpoint.poll_all()
+
+
+def main():
+    # Stations 1 and 2 keep up easily; station 3 can only process 40 msg/s
+    # and additionally stalls completely for two 1.5 s windows.
+    live = (
+        Scenario()
+        .group(n=4, relation="item-tagging", seed=3)
+        .consumers(rate=5_000.0, pids=[1, 2])
+        .consumers(rate=40.0, pids=[3])
+        .perturb(pid=3, at=5.0, duration=1.5)
+        .perturb(pid=3, at=12.0, duration=1.5)
+        .workload(publish_traffic)
+        .collect("purges", "throughput")
+        .build()
+    )
+
+    latest = {pid: {} for pid in (1, 2, 3)}
+    alarms = {pid: [] for pid in (1, 2, 3)}
+    for pid in (1, 2, 3):
+        def on_data(msg: DataMessage, pid=pid):
+            kind, sensor, value = msg.payload
+            if kind == "reading":
+                latest[pid][sensor] = value
+            else:
+                alarms[pid].append((sensor, value))
+
+        live.endpoints[pid].on_data = on_data
+
+    result = live.run(until=RUN_TIME + 10.0)
 
     published_alarms = (state["count"] + 1) // ALARM_EVERY
     print(f"published {state['count']} messages, {published_alarms} alarms\n")
+    purged = result.metrics["purges"]["per_process"]
     for pid in (1, 2, 3):
-        proc = stack[pid]
         role = "perturbed" if pid == 3 else "fast"
         print(f"station {pid} ({role}):")
         print(f"  alarms received : {len(alarms[pid])} / {published_alarms}")
-        print(f"  readings purged : {proc.purge_count}")
-        print(f"  still in group  : {pid in stack[0].cv.members}")
+        print(f"  readings purged : {purged[str(pid)]}")
+        print(f"  still in group  : {pid in live.stack[0].cv.members}")
 
     # Every station ends with the same newest reading per sensor.
     agree = all(latest[pid] == latest[1] for pid in (2, 3))
@@ -102,6 +96,7 @@ def main():
         len(alarms[pid]) == published_alarms for pid in (1, 2, 3)
     )
     print(f"no station lost an alarm: {all_alarms}")
+    print(f"specification violations: {result.violations or 'none'}")
 
 
 if __name__ == "__main__":

@@ -10,10 +10,10 @@ game state.
 Run:  python examples/game_server_replication.py
 """
 
+from repro import workloads
 from repro.core.spec import check_all
 from repro.replication.primary_backup import ReplicatedCluster
 from repro.replication.state import StoreOp
-from repro.workload.game import GameConfig, generate_game_trace
 from repro.workload.trace import MessageKind
 
 
@@ -29,14 +29,17 @@ def op_for(msg):
 
 
 def main():
-    trace = generate_game_trace(GameConfig(rounds=600, seed=9))  # 20 s of game
+    trace = workloads.create("game", rounds=600, seed=9)  # 20 s of game
     print(f"driving {len(trace)} game messages "
           f"({trace.message_rate:.1f} msg/s) through a 3-replica cluster")
 
     # Replica 2 can only apply 30 ops/s — slower than the game's update
     # rate.  Under plain VS it would either stall the game or be expelled;
-    # under SVS it just skips obsolete position updates.
-    cluster = ReplicatedCluster(n=3, consumer_rates={2: 30.0})
+    # under SVS it just skips obsolete position updates.  The relation is
+    # named, so any registered backend could stand in.
+    cluster = ReplicatedCluster(
+        n=3, relation="item-tagging", consumer_rates={2: 30.0}
+    )
     sim = cluster.sim
 
     def drive(index):

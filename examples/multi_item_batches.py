@@ -13,9 +13,10 @@ receiver applies.
 Run:  python examples/multi_item_batches.py
 """
 
+from repro import relations
 from repro.core.batch import BatchAssembler, BatchEncoder, ItemUpdate
 from repro.core.buffers import DeliveryQueue
-from repro.core.obsolescence import KEnumeration, KEnumerationEncoder
+from repro.core.obsolescence import KEnumerationEncoder
 
 
 def label(msg):
@@ -33,7 +34,7 @@ def main():
     encoder = BatchEncoder(
         KEnumerationEncoder(sender=0, k=k), commit_piggybacked=False
     )
-    relation = KEnumeration(k)
+    relation = relations.create("k-enumeration", k=k)
 
     # Figure 2's two composite updates.
     batch1 = encoder.encode_batch([ItemUpdate("a", 1), ItemUpdate("b", 1)])

@@ -1,66 +1,65 @@
 #!/usr/bin/env python
-"""Quickstart: a three-member SVS group in ~60 lines.
+"""Quickstart: a declarative SVS experiment session in ~60 lines.
 
-Demonstrates the core ideas of Semantic View Synchrony:
+Demonstrates the core ideas of Semantic View Synchrony through the
+Scenario API:
 
 1. multicast with an obsolescence annotation (item tags here);
-2. a slow member skipping obsolete messages while fast members see all;
-3. a view change that removes a crashed member — with all survivors
-   agreeing on the view and on the (semantically complete) message set.
+2. a fast member seeing every message while a slow member's queue purges
+   obsolete updates;
+3. a crash followed by a view change — with all survivors agreeing on the
+   view and on the (semantically complete) message set, as verified by the
+   executable specification.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import GroupStack, ItemTagging, StackConfig, check_all
-from repro.core.message import DataMessage, ViewDelivery
-
-
-def describe(entry):
-    if isinstance(entry, ViewDelivery):
-        return f"[view {entry.view.vid}: members {sorted(entry.view.members)}]"
-    return f"{entry.payload}"
+from repro import Scenario
 
 
 def main():
-    # A 4-member group over the simulated network.  ItemTagging relates
-    # messages that update the same item: the newest wins.
-    stack = GroupStack(ItemTagging(), StackConfig(n=4, seed=1))
+    # A 4-member group; the item-tagging relation relates messages updating
+    # the same item, the newest winning.  Member 1 consumes fast (sees
+    # everything); member 2 has no consumer, so its queue purges the
+    # obsolete item-7 updates before the final drain.  Member 3 crashes and
+    # a view change removes it.
+    live = (
+        Scenario()
+        .group(n=4, relation="item-tagging", seed=1)
+        .inject(0.00, "x=1 (item 7, will be obsolete)", annotation=7)
+        .inject(0.01, "y=10 (item 8)", annotation=8)
+        .inject(0.15, "x=2 (item 7, will be obsolete)", annotation=7)
+        .inject(0.16, "x=3 (item 7, final)", annotation=7)
+        .consumers(rate=1_000.0, pids=[1])
+        .crash(pid=3, at=0.5)
+        .view_change(at=1.0, pid=0)
+        .collect("purges", "view_changes", "network")
+        .build()
+    )
+    result = live.run(until=5.0)
 
-    # Member 0 publishes a stream of item updates: item 7 is updated three
-    # times, item 8 once.
-    stack[0].multicast("x=1 (item 7, will be obsolete)", annotation=7)
-    stack[0].multicast("y=10 (item 8)", annotation=8)
+    print("fast member 1 saw everything:")
+    for entry in live.stack.recorder.history(1).events:
+        print("   ", getattr(entry, "payload", entry))
 
-    # Member 1 consumes immediately — it sees everything.
-    stack.run(until=0.1)
-    print("fast member 1 sees:")
-    for entry in stack[1].drain():
-        print("   ", describe(entry))
+    print("\nslow member 2 saw (obsolete x values purged):")
+    for entry in live.stack.recorder.history(2).events:
+        print("   ", getattr(entry, "payload", entry))
 
-    # Two more updates to item 7 arrive while members 2 and 3 are slow:
-    # their queues purge the obsolete versions.
-    stack[0].multicast("x=2 (item 7, will be obsolete)", annotation=7)
-    stack[0].multicast("x=3 (item 7, final)", annotation=7)
-    stack.run(until=0.2)
-    print("\nslow member 2 sees (obsolete x values purged):")
-    for entry in stack[2].drain():
-        print("   ", describe(entry))
-
-    # Member 3 crashes; member 0 notices and reconfigures.  View Synchrony
-    # machinery (PRED exchange + consensus) installs view 1 everywhere.
-    stack.crash(3)
-    stack.run(until=0.5)
-    stack[0].trigger_view_change()
-    stack.run(until=3.0)
-    print(f"\nafter reconfiguration: view {stack[0].cv.vid}, "
-          f"members {sorted(stack[0].cv.members)}")
+    views = result.metrics["view_changes"]["count"]
+    print(f"\nview changes installed per member: {views}")
+    print(f"final view at member 0: {live.stack[0].cv.vid}, "
+          f"members {sorted(live.stack[0].cv.members)}")
+    print(f"messages purged group-wide: {result.metrics['purges']['total']}")
 
     # The recorded run satisfies the full executable specification:
     # Semantic View Synchrony, FIFO semantic reliability, integrity and
     # view agreement.
-    stack.drain_all()
-    violations = check_all(stack.recorder, stack.relation)
-    print(f"specification violations: {violations or 'none'}")
+    print(f"specification violations: {result.violations or 'none'}")
+
+    # Results serialize for archiving / diffing across runs.
+    print(f"result JSON is {len(result.to_json())} bytes "
+          f"(ScenarioResult.write_json saves it)")
 
 
 if __name__ == "__main__":

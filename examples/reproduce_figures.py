@@ -14,13 +14,13 @@ import sys
 import time
 
 import repro.analysis.experiments as exp
-from repro.workload.game import GameConfig, generate_game_trace
+from repro import workloads
 
 
 def main():
     fast = "--fast" in sys.argv
     if fast:
-        trace = generate_game_trace(GameConfig(rounds=2000))
+        trace = workloads.create("game", rounds=2000)
         buffers = (4, 12, 20, 28)
         probes = 4
     else:

@@ -2,7 +2,29 @@
 "Reducing the Cost of Group Communication with Semantic View Synchrony",
 DSN 2002.
 
-Quick start::
+Quick start — declare a whole experiment session with the Scenario API::
+
+    from repro import Scenario
+
+    result = (
+        Scenario()
+        .group(n=5, relation="item-tagging", consensus="oracle")
+        .latency("lognormal", mean=0.001)
+        .workload("game", rounds=600)          # calibrated Quake-like trace
+        .consumers(rate=120)                   # everyone consumes at 120 msg/s
+        .perturb(pid=2, at=5.0, duration=1.0)  # transient stall (Section 2)
+        .crash(pid=4, at=8.0)                  # crash-stop failure
+        .view_change(at=8.5)                   # reconfigure the group
+        .collect("throughput", "queue_depth", "view_changes")
+        .run(until=30.0)
+    )
+    assert result.ok                           # the executable spec held
+    result.write_json("run.json")
+
+Every named component — relation, consensus protocol, failure detector,
+latency model, workload — resolves through :mod:`repro.registry`, so
+third-party backends plug in with a decorator.  The lower-level
+:class:`GroupStack` remains for hand-wired setups::
 
     from repro import GroupStack, ItemTagging, StackConfig
 
@@ -20,6 +42,8 @@ Package layout:
 * :mod:`repro.fd`, :mod:`repro.consensus` — failure detection and consensus
   building blocks.
 * :mod:`repro.gcs` — assembled group communication stack and endpoints.
+* :mod:`repro.registry` — named component registries (the plugin surface).
+* :mod:`repro.scenario` — declarative experiment sessions over the stack.
 * :mod:`repro.replication` — primary-backup replication over SVS.
 * :mod:`repro.workload` — the calibrated game-trace generator (Section 5.2).
 * :mod:`repro.analysis` — the throughput model and per-figure experiment
@@ -55,9 +79,17 @@ from repro.core import (
     check_view_agreement,
 )
 from repro.gcs import GroupEndpoint, GroupStack, RateLimitedConsumer, StackConfig
-from repro.sim import Network, Simulator
+from repro.registry import (
+    consensus_protocols,
+    failure_detectors,
+    latency_models,
+    relations,
+    workloads,
+)
+from repro.scenario import LiveScenario, Scenario, ScenarioError, ScenarioResult
+from repro.sim import LognormalLatency, Network, Simulator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -96,7 +128,19 @@ __all__ = [
     "StackConfig",
     "GroupEndpoint",
     "RateLimitedConsumer",
+    # scenarios
+    "Scenario",
+    "LiveScenario",
+    "ScenarioError",
+    "ScenarioResult",
+    # registries
+    "latency_models",
+    "relations",
+    "consensus_protocols",
+    "failure_detectors",
+    "workloads",
     # substrate
     "Simulator",
     "Network",
+    "LognormalLatency",
 ]

@@ -6,8 +6,11 @@ paper reports, with the paper's own numbers alongside for comparison.
 ``EXPERIMENTS.md`` at the repository root records a full run.
 
 All experiments run on the calibrated synthetic game trace (see
-:mod:`repro.workload.game` for the substitution rationale); pass your own
-:class:`~repro.workload.trace.Trace` to reproduce them on other workloads.
+:mod:`repro.workload.game` for the substitution rationale), resolved
+through the workload registry so any registered generator can stand in;
+pass your own :class:`~repro.workload.trace.Trace` to reproduce them on
+other workloads.  The full-stack experiments (the view-change table) are
+assembled with the declarative :class:`~repro.scenario.Scenario` builder.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from repro.analysis.viewchange import (
     ViewChangeLatencyResult,
     measure_view_change_latency,
 )
+from repro.registry import workloads
 from repro.workload.game import GameConfig, generate_game_trace
 from repro.workload.trace import (
     Trace,
@@ -69,7 +73,7 @@ def default_trace() -> Trace:
     """The calibrated 5-player session trace (generated once, cached)."""
     global _default_trace
     if _default_trace is None:
-        _default_trace = generate_game_trace(GameConfig())
+        _default_trace = workloads.create("game")
     return _default_trace
 
 

@@ -13,6 +13,10 @@ comes out of its delivery queue — behind the backlog — so the measured
 app-level latency directly exposes the buffered-message cost the paper
 describes.  The flush size (messages added at installation) is reported
 too.
+
+The session is assembled with the declarative :class:`~repro.scenario.Scenario`
+builder; only the mid-run trigger (which snapshots the backlog at the
+instant of the view change) is scheduled imperatively on the live session.
 """
 
 from __future__ import annotations
@@ -20,11 +24,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.message import View, ViewDelivery
-from repro.core.obsolescence import EmptyRelation, KEnumeration
-from repro.gcs.endpoint import GroupEndpoint, RateLimitedConsumer
-from repro.gcs.stack import GroupStack, StackConfig
-from repro.workload.trace import Trace, to_data_messages
+from repro.core.message import View
+from repro.scenario import Scenario
+from repro.workload.trace import Trace
 
 __all__ = ["ViewChangeLatencyResult", "measure_view_change_latency"]
 
@@ -68,19 +70,11 @@ def measure_view_change_latency(
     view change (with no membership change) is triggered and its latency
     measured at every member.
     """
-    messages, relation = to_data_messages(trace, "k-enumeration", k=k)
-    if not semantic:
-        relation = EmptyRelation()
-    stack = GroupStack(
-        relation,
-        StackConfig(n=n, seed=seed, consensus="chandra-toueg", fd="oracle"),
-    )
-    sim = stack.sim
-
     flush_added: Dict[int, int] = {}
     install_time: Dict[int, float] = {}
     app_view_time: Dict[int, float] = {}
 
+    # The hooks close over ``sim``, which is bound right after build().
     def on_flush(pid: int, flush_size: int, added: int) -> None:
         flush_added[pid] = added
 
@@ -88,37 +82,26 @@ def measure_view_change_latency(
         if view.vid == 1:
             install_time[pid] = sim.now
 
-    endpoints: Dict[int, GroupEndpoint] = {}
-    consumers: Dict[int, RateLimitedConsumer] = {}
-    for pid, proc in stack.processes.items():
-        proc.listeners.on_flush = on_flush
-        proc.listeners.on_install = on_install
-        endpoint = GroupEndpoint(proc)
-        endpoints[pid] = endpoint
+    def on_view(pid: int, view: View) -> None:
+        if view.vid == 1:
+            app_view_time[pid] = sim.now
 
-        def on_view(view: View, pid: int = pid) -> None:
-            if view.vid == 1:
-                app_view_time[pid] = sim.now
+    scenario = (
+        Scenario()
+        .group(n=n, seed=seed, consensus="chandra-toueg", fd="oracle")
+        .workload(trace, sender=0, representation="k-enumeration", k=k)
+        .consumers(rate=fast_rate)
+        .consumers(rate=slow_rate, pids=[slow_pid])
+        .listeners(on_flush=on_flush, on_install=on_install)
+        .on_view(on_view)
+        .check(False)
+    )
+    if not semantic:
+        scenario.group(relation="empty")
 
-        endpoint.on_view = on_view
-        rate = slow_rate if pid == slow_pid else fast_rate
-        consumer = RateLimitedConsumer(sim, endpoint, rate)
-        consumer.start()
-        consumers[pid] = consumer
-
-    # Producer: multicast the trace from process 0 at its own timestamps.
-    producer = stack.processes[0]
-
-    def inject(index: int) -> None:
-        if index >= len(messages) or producer.crashed:
-            return
-        msg = messages[index]
-        producer.multicast(msg.payload, msg.annotation)
-        if index + 1 < len(messages):
-            nxt = messages[index + 1]
-            sim.schedule(max(0.0, nxt.payload.time - sim.now), inject, index + 1)
-
-    sim.schedule_at(messages[0].payload.time, inject, 0)
+    live = scenario.build()
+    sim = live.sim
+    stack = live.stack
 
     backlog = {"value": 0, "purged": 0}
     trigger_time = load_time

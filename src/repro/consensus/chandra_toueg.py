@@ -31,9 +31,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
-from repro.consensus.interface import CONSENSUS_STREAM, ConsensusInstance, DecisionCallback
+from repro.consensus.interface import (
+    CONSENSUS_STREAM,
+    ConsensusFactory,
+    ConsensusInstance,
+    DecisionCallback,
+)
 from repro.core.message import Envelope
 from repro.fd.detector import FailureDetector
+from repro.registry import consensus_protocols as _consensus_registry
 from repro.sim.process import ProcessId, SimProcess
 
 __all__ = [
@@ -240,3 +246,14 @@ class ChandraTouegConsensus(ConsensusInstance):
             self.owner.sim.schedule(0.0, self.on_message, self.owner.pid, body)
         else:
             self.owner.send(dst, envelope)
+
+
+@_consensus_registry.register("chandra-toueg")
+def _chandra_toueg_protocol(stack) -> "ConsensusFactory":
+    """Registry plugin: the real ◇S protocol, reading the detector off the
+    owning process (see :mod:`repro.registry` for the plugin contract)."""
+
+    def factory(owner, key, participants, on_decide):
+        return ChandraTouegConsensus(owner, key, participants, on_decide, owner.fd)
+
+    return factory

@@ -12,7 +12,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, List, Optional, Sequence
 
-from repro.consensus.interface import ConsensusInstance, DecisionCallback
+from repro.consensus.interface import (
+    ConsensusFactory,
+    ConsensusInstance,
+    DecisionCallback,
+)
+from repro.registry import consensus_protocols as _consensus_registry
 from repro.sim.kernel import Simulator
 from repro.sim.process import ProcessId, SimProcess
 
@@ -92,3 +97,15 @@ class OracleConsensusHub:
 
     def decision_for(self, key: Hashable) -> Optional[Any]:
         return self._decisions.get(key)
+
+
+@_consensus_registry.register("oracle")
+def _oracle_protocol(stack) -> "ConsensusFactory":
+    """Registry plugin: instant (optionally delayed) shared decisions.
+
+    Stashes the hub on the stack as ``stack.oracle_hub`` so tests and
+    experiments can reach the shared decision authority.
+    """
+    hub = OracleConsensusHub(stack.sim, decision_delay=stack.config.consensus_delay)
+    stack.oracle_hub = hub
+    return hub.instance

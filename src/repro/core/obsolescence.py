@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.message import DataMessage, MessageId
+from repro.registry import relations as _relation_registry
 
 __all__ = [
     "ObsolescenceRelation",
@@ -352,3 +353,30 @@ def check_strict_partial_order(
                         f"transitivity: {a} ≺ {b} ≺ {c} but not {a} ≺ {c}"
                     )
     return violations
+
+
+# ----------------------------------------------------------------------
+# Registry entries: the paper's representations, by name
+# ----------------------------------------------------------------------
+
+
+@_relation_registry.register("empty", aliases=("none", "reliable"))
+def _empty_relation() -> EmptyRelation:
+    return EmptyRelation()
+
+
+@_relation_registry.register("item-tagging", aliases=("tagging",))
+def _item_tagging() -> ItemTagging:
+    return ItemTagging()
+
+
+@_relation_registry.register(
+    "message-enumeration", aliases=("enumeration",)
+)
+def _message_enumeration() -> MessageEnumeration:
+    return MessageEnumeration()
+
+
+@_relation_registry.register("k-enumeration", aliases=("k-enum",))
+def _k_enumeration(k: int = 30) -> KEnumeration:
+    return KEnumeration(k)

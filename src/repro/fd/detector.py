@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set
 
 from repro.core.message import Envelope
+from repro.registry import FDWiring, failure_detectors as _fd_registry
 from repro.sim.kernel import Simulator
 from repro.sim.process import ProcessId, SimProcess
 
@@ -233,3 +234,44 @@ class OracleFailureDetector(_ListenerMixin, FailureDetector):
             ):
                 self._set_suspected(pid, True)
         self.sim.schedule(self.scan_period, self._scan)
+
+
+# ----------------------------------------------------------------------
+# Registry entries: how each detector wires into a GroupStack
+# (see repro.registry for the FDWiring contract)
+# ----------------------------------------------------------------------
+
+
+@_fd_registry.register("oracle")
+def _oracle_fd(stack) -> FDWiring:
+    """One omniscient detector shared by the whole group."""
+    fd = OracleFailureDetector(
+        stack.sim, {}, detection_delay=stack.config.fd_delay
+    )
+
+    def finalize(stack) -> None:
+        fd.processes = dict(stack.processes)
+        fd.start()
+
+    return FDWiring(fd=fd, finalize=finalize)
+
+
+@_fd_registry.register("heartbeat")
+def _heartbeat_fd(stack) -> FDWiring:
+    """One heartbeat detector per process, over the real network."""
+
+    def per_process(proc) -> HeartbeatFailureDetector:
+        return HeartbeatFailureDetector(
+            proc,
+            period=stack.config.heartbeat_period,
+            timeout=stack.config.heartbeat_timeout,
+        )
+
+    def finalize(stack) -> None:
+        for proc in stack.processes.values():
+            detector = proc.fd
+            assert isinstance(detector, HeartbeatFailureDetector)
+            detector.monitor(stack.initial_view.members)
+            detector.start()
+
+    return FDWiring(fd=per_process, finalize=finalize)

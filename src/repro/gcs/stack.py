@@ -7,33 +7,44 @@ simulator, the network, one failure detector and one
 experiments can build a complete group in one call instead of repeating
 boilerplate.
 
-The two pluggable substrates mirror the paper's modularity claims:
+Every pluggable substrate is resolved by name through the registries in
+:mod:`repro.registry`, mirroring the paper's modularity claims:
 
 * ``consensus="chandra-toueg"`` (default) runs the real ◇S protocol;
-  ``consensus="oracle"`` decides instantly (optionally after a fixed delay).
+  ``consensus="oracle"`` decides instantly (optionally after a fixed delay);
 * ``fd="oracle"`` (default) suspects exactly ``fd_delay`` after a crash;
-  ``fd="heartbeat"`` runs the real heartbeat detector over the network.
+  ``fd="heartbeat"`` runs the real heartbeat detector over the network;
+* ``latency_model`` names any registered :class:`~repro.sim.network.LatencyModel`
+  (``"constant"``, ``"uniform"``, ``"lognormal"``, ...).
+
+Third-party backends register themselves with a decorator (see
+:mod:`repro.registry`) and become valid configuration values here without
+any change to this module.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
-from repro.consensus.chandra_toueg import ChandraTouegConsensus
+# Imported for their registry side-effects (the built-in backends register
+# themselves at import time) as well as for typing.
+from repro.consensus.chandra_toueg import ChandraTouegConsensus  # noqa: F401
 from repro.consensus.interface import ConsensusFactory
 from repro.consensus.oracle import OracleConsensusHub
 from repro.core.message import View
 from repro.core.obsolescence import ObsolescenceRelation
 from repro.core.spec import HistoryRecorder
 from repro.core.svs import SVSProcess
-from repro.fd.detector import (
-    FailureDetector,
-    HeartbeatFailureDetector,
-    OracleFailureDetector,
+from repro.fd.detector import FailureDetector  # noqa: F401
+from repro.registry import (
+    consensus_protocols,
+    failure_detectors,
+    latency_models,
+    relations as relation_registry,
 )
 from repro.sim.kernel import Simulator
-from repro.sim.network import ConstantLatency, Network
+from repro.sim.network import Network
 from repro.sim.process import ProcessId
 
 __all__ = ["GroupStack", "StackConfig"]
@@ -46,9 +57,9 @@ class StackConfig:
     n: int = 3
     seed: int = 0
     latency: float = 0.001
-    consensus: str = "chandra-toueg"  # or "oracle"
+    consensus: str = "chandra-toueg"  # any registered consensus protocol
     consensus_delay: float = 0.0  # oracle only
-    fd: str = "oracle"  # or "heartbeat"
+    fd: str = "oracle"  # any registered failure detector
     fd_delay: float = 0.05  # oracle detection delay
     heartbeat_period: float = 0.02
     heartbeat_timeout: float = 0.1
@@ -57,18 +68,35 @@ class StackConfig:
     """Enable stability tracking (watermark gossip + stable-message GC)
     at this period; None reproduces the paper's protocol exactly."""
 
+    latency_model: str = "constant"
+    """Named latency model; ``"constant"`` reads its value from ``latency``."""
+
+    latency_params: Optional[Dict[str, Any]] = None
+    """Extra keyword arguments for the latency-model factory."""
+
     def __post_init__(self) -> None:
         if self.n < 1:
             raise ValueError("a group needs at least one member")
-        if self.consensus not in ("chandra-toueg", "oracle"):
-            raise ValueError(f"unknown consensus: {self.consensus!r}")
-        if self.fd not in ("oracle", "heartbeat"):
-            raise ValueError(f"unknown fd: {self.fd!r}")
-
-
-def _chandra_toueg_factory(owner, key, participants, on_decide):
-    """Consensus factory reading the detector off the owning process."""
-    return ChandraTouegConsensus(owner, key, participants, on_decide, owner.fd)
+        if self.latency < 0:
+            raise ValueError(f"latency must be non-negative: {self.latency!r}")
+        if self.consensus_delay < 0:
+            raise ValueError(
+                f"consensus_delay must be non-negative: {self.consensus_delay!r}"
+            )
+        if self.fd_delay < 0:
+            raise ValueError(f"fd_delay must be non-negative: {self.fd_delay!r}")
+        if self.heartbeat_period <= 0:
+            raise ValueError(
+                f"heartbeat_period must be positive: {self.heartbeat_period!r}"
+            )
+        if self.heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be positive: {self.heartbeat_timeout!r}"
+            )
+        # Raise early (with the list of registered names) on unknown backends.
+        consensus_protocols.get(self.consensus)
+        failure_detectors.get(self.fd)
+        latency_models.get(self.latency_model)
 
 
 class GroupStack:
@@ -76,39 +104,24 @@ class GroupStack:
 
     def __init__(
         self,
-        relation: ObsolescenceRelation,
+        relation: Union[ObsolescenceRelation, str],
         config: Optional[StackConfig] = None,
     ) -> None:
+        if isinstance(relation, str):
+            relation = relation_registry.create(relation)
         self.config = config or StackConfig()
         self.relation = relation
         self.sim = Simulator(seed=self.config.seed)
-        self.network = Network(self.sim, ConstantLatency(self.config.latency))
+        self.network = Network(self.sim, self._build_latency_model())
         self.initial_view = View(0, frozenset(range(self.config.n)))
         self.recorder = HistoryRecorder() if self.config.record_history else None
 
-        consensus_factory: ConsensusFactory
-        if self.config.consensus == "oracle":
-            hub = OracleConsensusHub(
-                self.sim, decision_delay=self.config.consensus_delay
-            )
-            self.oracle_hub: Optional[OracleConsensusHub] = hub
-            consensus_factory = hub.instance
-        else:
-            self.oracle_hub = None
-            consensus_factory = _chandra_toueg_factory
-
-        shared_fd: Optional[OracleFailureDetector] = None
-        if self.config.fd == "oracle":
-            shared_fd = OracleFailureDetector(
-                self.sim, {}, detection_delay=self.config.fd_delay
-            )
-
-        def heartbeat_factory(proc) -> FailureDetector:
-            return HeartbeatFailureDetector(
-                proc,
-                period=self.config.heartbeat_period,
-                timeout=self.config.heartbeat_timeout,
-            )
+        # Consensus plugins may stash shared state here (the oracle hub does).
+        self.oracle_hub: Optional[OracleConsensusHub] = None
+        consensus_factory: ConsensusFactory = consensus_protocols.create(
+            self.config.consensus, self
+        )
+        fd_wiring = failure_detectors.create(self.config.fd, self)
 
         self.processes: Dict[ProcessId, SVSProcess] = {}
         for pid in range(self.config.n):
@@ -122,21 +135,19 @@ class GroupStack:
                 initial_view=self.initial_view,
                 relation=relation,
                 consensus_factory=consensus_factory,
-                fd=shared_fd if shared_fd is not None else heartbeat_factory,
+                fd=fd_wiring.fd,
                 listeners=listeners,
                 stability_interval=self.config.stability_interval,
             )
             self.processes[pid] = proc
 
-        if shared_fd is not None:
-            shared_fd.processes = dict(self.processes)
-            shared_fd.start()
-        else:
-            for proc in self.processes.values():
-                detector = proc.fd
-                assert isinstance(detector, HeartbeatFailureDetector)
-                detector.monitor(self.initial_view.members)
-                detector.start()
+        fd_wiring.finalize(self)
+
+    def _build_latency_model(self):
+        params = dict(self.config.latency_params or {})
+        if self.config.latency_model == "constant":
+            params.setdefault("latency", self.config.latency)
+        return latency_models.create(self.config.latency_model, self.sim, **params)
 
     # ------------------------------------------------------------------
     # Convenience accessors

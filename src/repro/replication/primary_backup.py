@@ -22,7 +22,7 @@ guarantee is asserted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.message import DataMessage, View
 from repro.core.obsolescence import ItemTagging, ObsolescenceRelation
@@ -102,12 +102,14 @@ class ReplicatedCluster:
     def __init__(
         self,
         n: int = 3,
-        relation: Optional[ObsolescenceRelation] = None,
+        relation: Optional[Union[str, ObsolescenceRelation]] = None,
         config: Optional[StackConfig] = None,
         consumer_rates: Optional[Dict[int, float]] = None,
         default_rate: float = 10_000.0,
         auto_reconfigure: bool = True,
     ) -> None:
+        # ``relation`` accepts a registry name ("item-tagging", ...) or an
+        # instance; GroupStack resolves names through repro.registry.
         self.stack = GroupStack(
             relation or ItemTagging(), config or StackConfig(n=n)
         )

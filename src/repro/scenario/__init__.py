@@ -1,0 +1,29 @@
+"""Declarative experiment sessions: the Scenario builder and its results.
+
+See :mod:`repro.scenario.builder` for the fluent API and
+:mod:`repro.scenario.result` for the JSON-exportable result type.
+"""
+
+from repro.scenario.builder import (
+    KNOWN_METRICS,
+    LiveScenario,
+    Scenario,
+    ScenarioError,
+)
+from repro.scenario.result import (
+    SCHEMA_VERSION,
+    ScenarioResult,
+    serialize_entry,
+    serialize_histories,
+)
+
+__all__ = [
+    "Scenario",
+    "LiveScenario",
+    "ScenarioError",
+    "ScenarioResult",
+    "KNOWN_METRICS",
+    "SCHEMA_VERSION",
+    "serialize_entry",
+    "serialize_histories",
+]

@@ -8,7 +8,13 @@ event-driven :class:`~repro.sim.kernel.Simulator`, crash-stop
 """
 
 from repro.sim.kernel import Event, EventHandle, PeriodicTimer, SimulationError, Simulator
-from repro.sim.network import ConstantLatency, LatencyModel, Network, UniformLatency
+from repro.sim.network import (
+    ConstantLatency,
+    LatencyModel,
+    LognormalLatency,
+    Network,
+    UniformLatency,
+)
 from repro.sim.process import ProcessId, ProcessRegistry, SimProcess
 from repro.sim.failure import (
     CrashSchedule,
@@ -27,6 +33,7 @@ __all__ = [
     "LatencyModel",
     "ConstantLatency",
     "UniformLatency",
+    "LognormalLatency",
     "ProcessId",
     "SimProcess",
     "ProcessRegistry",

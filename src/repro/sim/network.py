@@ -18,9 +18,11 @@ so the core protocol runs over the paper's assumed reliable channels.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.registry import latency_models
 from repro.sim.kernel import Simulator
 from repro.sim.process import ProcessId, SimProcess
 
@@ -28,6 +30,7 @@ __all__ = [
     "LatencyModel",
     "ConstantLatency",
     "UniformLatency",
+    "LognormalLatency",
     "Network",
     "ChannelStats",
 ]
@@ -67,6 +70,53 @@ class UniformLatency(LatencyModel):
 
     def sample(self, src: ProcessId, dst: ProcessId) -> float:
         return self._rng.uniform(self.low, self.high)
+
+
+class LognormalLatency(LatencyModel):
+    """Heavy-tailed latency: log-normal with a given distribution mean.
+
+    The paper assumes channels with "no bound on transmission time"
+    (Section 3.1); a log-normal is the standard heavy-tailed stand-in for
+    such links.  ``mean`` is the mean of the *resulting* distribution (so
+    swapping ``ConstantLatency(x)`` for ``LognormalLatency(sim, mean=x)``
+    keeps the average load identical); ``sigma`` is the shape parameter of
+    the underlying normal — larger means a heavier tail.
+    """
+
+    def __init__(self, sim: Simulator, mean: float = 0.001, sigma: float = 1.0) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean latency must be positive: {mean}")
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive: {sigma}")
+        self._rng = sim.rng("network")
+        self.mean = mean
+        self.sigma = sigma
+        # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) = mean.
+        self._mu = math.log(mean) - sigma * sigma / 2.0
+
+    def sample(self, src: ProcessId, dst: ProcessId) -> float:
+        return self._rng.lognormvariate(self._mu, self.sigma)
+
+
+@latency_models.register("constant")
+def _constant_latency(sim: Simulator, latency: float = 0.001) -> ConstantLatency:
+    if latency < 0:
+        raise ValueError(f"latency must be non-negative: {latency}")
+    return ConstantLatency(latency)
+
+
+@latency_models.register("uniform")
+def _uniform_latency(
+    sim: Simulator, low: float = 0.0005, high: float = 0.0015
+) -> UniformLatency:
+    return UniformLatency(sim, low, high)
+
+
+@latency_models.register("lognormal")
+def _lognormal_latency(
+    sim: Simulator, mean: float = 0.001, sigma: float = 1.0
+) -> LognormalLatency:
+    return LognormalLatency(sim, mean, sigma)
 
 
 @dataclass

@@ -39,6 +39,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
+from repro.registry import workloads as _workload_registry
 from repro.workload.trace import MessageKind, Trace, TraceMessage
 
 __all__ = ["GameConfig", "GameTraceGenerator", "generate_game_trace"]
@@ -269,3 +270,10 @@ def generate_game_trace(config: Optional[GameConfig] = None) -> Trace:
     """One-call convenience: generate a trace with the given (or default)
     configuration."""
     return GameTraceGenerator(config).generate()
+
+
+@_workload_registry.register("game", aliases=("quake",))
+def _game_workload(**params) -> Trace:
+    """The calibrated game session; any :class:`GameConfig` field is a
+    keyword (``workloads.create("game", rounds=600, seed=9)``)."""
+    return generate_game_trace(GameConfig(**params))

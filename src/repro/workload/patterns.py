@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional
 
+from repro.registry import workloads as _workload_registry
 from repro.workload.trace import MessageKind, Trace, TraceMessage
 
 __all__ = ["periodic_updates", "single_item_stream", "mixed_stream"]
@@ -114,3 +115,8 @@ def mixed_stream(
         active_per_round=[items] * rounds,
         label=f"mixed-{reliable_share:.2f}",
     )
+
+
+_workload_registry.register("periodic-updates", periodic_updates)
+_workload_registry.register("single-item", single_item_stream)
+_workload_registry.register("mixed", mixed_stream)

@@ -1,0 +1,77 @@
+"""StackConfig validation and registry-backed backend resolution."""
+
+import pytest
+
+from repro.core.obsolescence import ItemTagging
+from repro.gcs.stack import GroupStack, StackConfig
+from repro.sim.network import LognormalLatency, UniformLatency
+
+
+class TestNumericValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="latency must be non-negative"):
+            StackConfig(latency=-0.001)
+
+    def test_negative_fd_delay_rejected(self):
+        with pytest.raises(ValueError, match="fd_delay must be non-negative"):
+            StackConfig(fd_delay=-0.01)
+
+    def test_negative_consensus_delay_rejected(self):
+        with pytest.raises(
+            ValueError, match="consensus_delay must be non-negative"
+        ):
+            StackConfig(consensus_delay=-1.0)
+
+    def test_nonpositive_heartbeat_period_rejected(self):
+        with pytest.raises(ValueError, match="heartbeat_period must be positive"):
+            StackConfig(heartbeat_period=0.0)
+
+    def test_nonpositive_heartbeat_timeout_rejected(self):
+        with pytest.raises(ValueError, match="heartbeat_timeout must be positive"):
+            StackConfig(heartbeat_timeout=-0.5)
+
+    def test_zero_latency_allowed(self):
+        StackConfig(latency=0.0)
+
+
+class TestRegistryBackedBackends:
+    def test_unknown_latency_model_rejected_with_choices(self):
+        with pytest.raises(ValueError, match="constant"):
+            StackConfig(latency_model="warp")
+
+    def test_unknown_consensus_names_choices(self):
+        with pytest.raises(ValueError, match="chandra-toueg"):
+            StackConfig(consensus="paxos")
+
+    def test_uniform_latency_model(self):
+        stack = GroupStack(
+            ItemTagging(),
+            StackConfig(
+                latency_model="uniform",
+                latency_params={"low": 0.001, "high": 0.002},
+            ),
+        )
+        assert isinstance(stack.network.latency, UniformLatency)
+        assert stack.network.latency.low == 0.001
+
+    def test_lognormal_latency_model(self):
+        stack = GroupStack(
+            ItemTagging(),
+            StackConfig(latency_model="lognormal", latency_params={"mean": 0.003}),
+        )
+        assert isinstance(stack.network.latency, LognormalLatency)
+        assert stack.network.latency.mean == 0.003
+
+    def test_constant_model_reads_legacy_latency_field(self):
+        stack = GroupStack(ItemTagging(), StackConfig(latency=0.004))
+        assert stack.network.latency.latency == 0.004
+
+    def test_relation_by_name(self):
+        stack = GroupStack("item-tagging", StackConfig(consensus="oracle"))
+        assert isinstance(stack.relation, ItemTagging)
+
+    def test_oracle_hub_still_exposed(self):
+        stack = GroupStack(ItemTagging(), StackConfig(consensus="oracle"))
+        assert stack.oracle_hub is not None
+        stack = GroupStack(ItemTagging(), StackConfig(consensus="chandra-toueg"))
+        assert stack.oracle_hub is None

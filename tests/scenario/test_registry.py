@@ -1,0 +1,171 @@
+"""Tests for the component registries."""
+
+import pytest
+
+from repro.registry import (
+    Registry,
+    RegistryError,
+    consensus_protocols,
+    failure_detectors,
+    latency_models,
+    relations,
+    workloads,
+)
+
+
+class TestRegistryMechanics:
+    def test_register_and_create(self):
+        reg = Registry("widget")
+        reg.register("box", lambda size=1: ("box", size))
+        assert reg.create("box") == ("box", 1)
+        assert reg.create("box", size=3) == ("box", 3)
+
+    def test_decorator_form(self):
+        reg = Registry("widget")
+
+        @reg.register("disc")
+        def make_disc(radius=2):
+            return ("disc", radius)
+
+        assert reg.create("disc", radius=5) == ("disc", 5)
+        assert make_disc() == ("disc", 2)  # the function itself is returned
+
+    def test_aliases_resolve_to_same_factory(self):
+        reg = Registry("widget")
+        reg.register("box", lambda: "b", aliases=("crate", "carton"))
+        assert reg.get("crate") is reg.get("box")
+        assert reg.get("carton") is reg.get("box")
+        # Aliases are not canonical names.
+        assert reg.names() == ["box"]
+
+    def test_duplicate_rejected(self):
+        reg = Registry("widget")
+        reg.register("box", lambda: 1)
+        with pytest.raises(RegistryError, match="already registered"):
+            reg.register("box", lambda: 2)
+
+    def test_override_replaces(self):
+        reg = Registry("widget")
+        reg.register("box", lambda: 1)
+        reg.register("box", lambda: 2, override=True)
+        assert reg.create("box") == 2
+
+    def test_unknown_name_lists_known(self):
+        reg = Registry("widget")
+        reg.register("box", lambda: 1)
+        with pytest.raises(RegistryError, match="unknown widget: 'pyramid'"):
+            reg.get("pyramid")
+        with pytest.raises(RegistryError, match="box"):
+            reg.get("pyramid")
+
+    def test_unregister(self):
+        reg = Registry("widget")
+        reg.register("box", lambda: 1)
+        reg.unregister("box")
+        assert "box" not in reg
+        with pytest.raises(RegistryError):
+            reg.unregister("box")
+
+    def test_unregister_removes_aliases_too(self):
+        reg = Registry("widget")
+        reg.register("box", lambda: 1, aliases=("crate",))
+        reg.unregister("box")
+        assert "crate" not in reg and "box" not in reg
+        # Unregistering via an alias removes the whole registration.
+        reg.register("disc", lambda: 2, aliases=("plate",))
+        reg.unregister("plate")
+        assert "disc" not in reg and reg.names() == []
+
+    def test_failed_registration_leaves_no_partial_state(self):
+        reg = Registry("widget")
+        reg.register("taken", lambda: 1)
+        with pytest.raises(RegistryError):
+            reg.register("fresh", lambda: 2, aliases=("taken",))
+        # The colliding call must not have half-registered "fresh".
+        assert "fresh" not in reg
+        reg.register("fresh", lambda: 3)
+        assert reg.create("fresh") == 3
+
+    def test_contains_len_iter(self):
+        reg = Registry("widget")
+        reg.register("a", lambda: 1)
+        reg.register("b", lambda: 2, aliases=("bee",))
+        assert "a" in reg and "bee" in reg
+        assert len(reg) == 2
+        assert list(reg) == ["a", "b"]
+
+    def test_invalid_names_rejected(self):
+        reg = Registry("widget")
+        with pytest.raises(RegistryError):
+            reg.register("", lambda: 1)
+
+
+class TestBuiltinRegistrations:
+    def test_latency_models(self):
+        assert {"constant", "uniform", "lognormal"} <= set(latency_models.names())
+
+    def test_relations(self):
+        assert {
+            "empty",
+            "item-tagging",
+            "message-enumeration",
+            "k-enumeration",
+        } <= set(relations.names())
+        # Paper aliases.
+        assert "tagging" in relations and "reliable" in relations
+
+    def test_consensus(self):
+        assert {"chandra-toueg", "oracle"} <= set(consensus_protocols.names())
+
+    def test_failure_detectors(self):
+        assert {"oracle", "heartbeat"} <= set(failure_detectors.names())
+
+    def test_workloads(self):
+        assert {"game", "periodic-updates", "single-item", "mixed"} <= set(
+            workloads.names()
+        )
+
+    def test_workload_creation_params(self):
+        trace = workloads.create("game", rounds=50, seed=1)
+        assert trace.rounds == 50
+
+    def test_relation_creation_params(self):
+        relation = relations.create("k-enumeration", k=8)
+        assert relation.k == 8
+
+
+class TestThirdPartyRegistration:
+    def test_custom_latency_model_usable_from_stack(self):
+        from repro.core.obsolescence import ItemTagging
+        from repro.gcs.stack import GroupStack, StackConfig
+        from repro.sim.network import ConstantLatency
+
+        @latency_models.register("test-fixed")
+        def _fixed(sim, value=0.01):
+            return ConstantLatency(value)
+
+        try:
+            stack = GroupStack(
+                ItemTagging(),
+                StackConfig(
+                    latency_model="test-fixed", latency_params={"value": 0.02}
+                ),
+            )
+            assert stack.network.latency.latency == 0.02
+        finally:
+            latency_models.unregister("test-fixed")
+
+    def test_custom_relation_usable_by_name(self):
+        from repro.core.obsolescence import ItemTagging
+
+        @relations.register("test-tagging")
+        def _tagging():
+            return ItemTagging()
+
+        try:
+            from repro.gcs.stack import GroupStack
+
+            stack = GroupStack("test-tagging")
+            assert isinstance(stack.relation, ItemTagging)
+        finally:
+            relations.unregister("test-tagging")

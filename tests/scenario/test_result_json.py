@@ -1,0 +1,61 @@
+"""ScenarioResult JSON round-trip and schema tests."""
+
+import json
+
+import pytest
+
+from repro.scenario import SCHEMA_VERSION, Scenario, ScenarioResult
+
+
+@pytest.fixture(scope="module")
+def result():
+    return (
+        Scenario()
+        .group(n=3, relation="item-tagging", consensus="oracle", seed=4)
+        .inject(0.0, "a", annotation=1)
+        .inject(0.05, "b", annotation=1)
+        .crash(pid=2, at=0.2)
+        .view_change(at=0.5, pid=0)
+        .collect("throughput", "purges", "view_changes", "network")
+        .run(until=2.0)
+    )
+
+
+class TestJsonRoundTrip:
+    def test_to_json_is_valid_json(self, result):
+        data = json.loads(result.to_json())
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["n"] == 3 and data["seed"] == 4
+
+    def test_round_trip_equality(self, result):
+        assert ScenarioResult.from_json(result.to_json()) == result
+
+    def test_double_round_trip_stable(self, result):
+        once = ScenarioResult.from_json(result.to_json())
+        assert once.to_json() == result.to_json()
+
+    def test_write_and_read_file(self, result, tmp_path):
+        path = tmp_path / "BENCH_scenario.json"
+        result.write_json(str(path))
+        assert ScenarioResult.read_json(str(path)) == result
+
+    def test_unsupported_schema_rejected(self, result):
+        data = result.to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema version"):
+            ScenarioResult.from_dict(data)
+
+    def test_config_carries_backends(self, result):
+        assert result.config["consensus"] == "oracle"
+        assert result.config["fd"] == "oracle"
+        assert result.config["relation"] == "ItemTagging"
+        assert result.config["latency_model"] == "constant"
+
+    def test_histories_are_identity_level(self, result):
+        for events in result.histories.values():
+            for entry in events:
+                assert entry["kind"] in ("data", "view")
+                if entry["kind"] == "data":
+                    assert set(entry) == {"kind", "sender", "sn", "view"}
+                else:
+                    assert set(entry) == {"kind", "vid", "members"}
