@@ -13,9 +13,21 @@ the genuinely micro benchmarks live in ``test_bench_micro.py``).
 
 from __future__ import annotations
 
+import pathlib
+
 import pytest
 
 from repro.analysis.experiments import default_trace
+
+_BENCH_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    """Every full-scale figure regeneration is a slow test by definition;
+    tag them so CI can split fast and slow lanes (-m "not slow")."""
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

@@ -7,10 +7,14 @@ would consume.  Expect a few minutes of wall-clock time (the Figure 5
 sweeps bisect threshold rates across seven buffer sizes at full trace
 length).
 
-Run:  python examples/reproduce_figures.py [--fast]
+Run:  python examples/reproduce_figures.py [--fast] [--workers N]
+
+``--workers N`` fans the grid-shaped experiments (Figures 4–5, the
+view-change table, the ablations) out to N worker processes via the sweep
+engine; results are identical to the serial run.
 """
 
-import sys
+import argparse
 import time
 
 import repro.analysis.experiments as exp
@@ -18,7 +22,12 @@ from repro import workloads
 
 
 def main():
-    fast = "--fast" in sys.argv
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--fast", action="store_true")
+    parser.add_argument("--workers", type=int, default=0)
+    args = parser.parse_args()
+    fast = args.fast
+    workers = args.workers
     if fast:
         trace = workloads.create("game", rounds=2000)
         buffers = (4, 12, 20, 28)
@@ -32,14 +41,14 @@ def main():
     exp.workload_stats(trace, show=True)
     exp.figure_3a(trace, top=50, show=True)
     exp.figure_3b(trace, show=True)
-    exp.figure_4a(trace, show=True)
-    exp.figure_4b(trace, show=True)
-    exp.figure_5a(trace, buffers=buffers, show=True)
-    exp.figure_5b(trace, buffers=buffers, probes=probes, show=True)
-    exp.view_change_latency_table(show=True)
-    exp.ablation_k(trace, show=True)
-    exp.ablation_representation(trace, show=True)
-    exp.ablation_players(show=True)
+    exp.figure_4a(trace, show=True, workers=workers)
+    exp.figure_4b(trace, show=True, workers=workers)
+    exp.figure_5a(trace, buffers=buffers, show=True, workers=workers)
+    exp.figure_5b(trace, buffers=buffers, probes=probes, show=True, workers=workers)
+    exp.view_change_latency_table(show=True, workers=workers)
+    exp.ablation_k(trace, show=True, workers=workers)
+    exp.ablation_representation(trace, show=True, workers=workers)
+    exp.ablation_players(show=True, workers=workers)
     print(f"\ntotal wall-clock: {time.time() - start:.1f}s")
 
 

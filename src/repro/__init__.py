@@ -88,6 +88,14 @@ from repro.registry import (
 )
 from repro.scenario import LiveScenario, Scenario, ScenarioError, ScenarioResult
 from repro.sim import LognormalLatency, Network, Simulator
+from repro.sweep import (
+    ScenarioSweep,
+    Sweep,
+    SweepError,
+    SweepInvariantError,
+    SweepResult,
+    scenario_cell,
+)
 
 __version__ = "1.1.0"
 
@@ -133,6 +141,13 @@ __all__ = [
     "LiveScenario",
     "ScenarioError",
     "ScenarioResult",
+    # sweeps
+    "Sweep",
+    "ScenarioSweep",
+    "SweepResult",
+    "SweepError",
+    "SweepInvariantError",
+    "scenario_cell",
     # registries
     "latency_models",
     "relations",

@@ -11,12 +11,21 @@ through the workload registry so any registered generator can stand in;
 pass your own :class:`~repro.workload.trace.Trace` to reproduce them on
 other workloads.  The full-stack experiments (the view-change table) are
 assembled with the declarative :class:`~repro.scenario.Scenario` builder.
+
+Every grid-shaped experiment (Figures 4 and 5, the view-change table, the
+ablations) is expressed as a :class:`~repro.sweep.Sweep` over a
+module-level cell function, so each accepts ``workers=N`` to farm its
+cells out to a process pool — ``figure_5a(workers=4)`` reproduces the
+paper's buffer sweep in a quarter of the serial wall-clock, with the trace
+shipped to each worker once.  The cell functions double as reusable sweep
+runners: ``Sweep(...).run(_figure_4_cell, context=trace)`` is the raw form
+of :func:`figure_4a`.  Results are identical for any worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.throughput import (
     ThroughputConfig,
@@ -29,6 +38,7 @@ from repro.analysis.viewchange import (
     measure_view_change_latency,
 )
 from repro.registry import workloads
+from repro.sweep import Sweep, SweepResult
 from repro.workload.game import GameConfig, generate_game_trace
 from repro.workload.trace import (
     Trace,
@@ -43,6 +53,7 @@ __all__ = [
     "workload_stats",
     "figure_3a",
     "figure_3b",
+    "figure_4_sweep",
     "figure_4a",
     "figure_4b",
     "figure_5a",
@@ -165,31 +176,65 @@ def figure_3b(
 DEFAULT_RATES = (140, 120, 100, 80, 73, 60, 50, 40, 30, 28, 20)
 
 
+def _figure_4_cell(
+    params: Mapping[str, Any], seed: int, trace: Trace
+) -> Dict[str, float]:
+    """One (consumer rate × protocol) point of the Figure 4 grid."""
+    result = run_slow_receiver(
+        trace,
+        ThroughputConfig(
+            buffer_size=params["buffer_size"],
+            consumer_rate=float(params["consumer_rate"]),
+            semantic=params["semantic"],
+        ),
+    )
+    return {
+        "producer_idle_pct": result.producer_idle_pct,
+        "mean_occupancy": result.mean_occupancy,
+        "max_occupancy": result.max_occupancy,
+        "purge_ratio": result.purge_ratio,
+    }
+
+
+def figure_4_sweep(
+    trace: Optional[Trace] = None,
+    buffer_size: int = 15,
+    rates: Sequence[int] = DEFAULT_RATES,
+    workers: Optional[int] = None,
+) -> SweepResult:
+    """The full Figure 4 grid (both panels read from it)."""
+    trace = trace or default_trace()
+    return (
+        Sweep(base={"buffer_size": buffer_size})
+        .axis("consumer_rate", list(rates))
+        .axis("semantic", [False, True])
+        .run(_figure_4_cell, workers=workers, context=trace)
+    )
+
+
+def _figure_4_rows(
+    sweep: SweepResult, rates: Sequence[int], metric: str
+) -> List[Tuple[int, float, float]]:
+    return [
+        (
+            rate,
+            round(sweep.select(consumer_rate=rate, semantic=False).value(metric), 2),
+            round(sweep.select(consumer_rate=rate, semantic=True).value(metric), 2),
+        )
+        for rate in rates
+    ]
+
+
 def figure_4a(
     trace: Optional[Trace] = None,
     buffer_size: int = 15,
     rates: Sequence[int] = DEFAULT_RATES,
     show: bool = False,
+    workers: Optional[int] = None,
 ) -> List[Tuple[int, float, float]]:
     """Figure 4(a): producer idle % vs consumer rate, reliable vs semantic."""
-    trace = trace or default_trace()
-    rows = []
-    for rate in rates:
-        rel = run_slow_receiver(
-            trace,
-            ThroughputConfig(
-                buffer_size=buffer_size, consumer_rate=rate, semantic=False
-            ),
-        )
-        sem = run_slow_receiver(
-            trace,
-            ThroughputConfig(
-                buffer_size=buffer_size, consumer_rate=rate, semantic=True
-            ),
-        )
-        rows.append(
-            (rate, round(rel.producer_idle_pct, 2), round(sem.producer_idle_pct, 2))
-        )
+    sweep = figure_4_sweep(trace, buffer_size, rates, workers)
+    rows = _figure_4_rows(sweep, rates, "producer_idle_pct")
     if show:
         _print_rows(
             f"Figure 4(a) — producer idle % (buffer={buffer_size})",
@@ -204,26 +249,11 @@ def figure_4b(
     buffer_size: int = 15,
     rates: Sequence[int] = DEFAULT_RATES,
     show: bool = False,
+    workers: Optional[int] = None,
 ) -> List[Tuple[int, float, float]]:
     """Figure 4(b): mean buffer occupancy vs consumer rate."""
-    trace = trace or default_trace()
-    rows = []
-    for rate in rates:
-        rel = run_slow_receiver(
-            trace,
-            ThroughputConfig(
-                buffer_size=buffer_size, consumer_rate=rate, semantic=False
-            ),
-        )
-        sem = run_slow_receiver(
-            trace,
-            ThroughputConfig(
-                buffer_size=buffer_size, consumer_rate=rate, semantic=True
-            ),
-        )
-        rows.append(
-            (rate, round(rel.mean_occupancy, 2), round(sem.mean_occupancy, 2))
-        )
+    sweep = figure_4_sweep(trace, buffer_size, rates, workers)
+    rows = _figure_4_rows(sweep, rates, "mean_occupancy")
     if show:
         _print_rows(
             f"Figure 4(b) — buffer occupancy in messages (buffer={buffer_size})",
@@ -240,18 +270,39 @@ def figure_4b(
 DEFAULT_BUFFERS = (4, 8, 12, 16, 20, 24, 28)
 
 
+def _figure_5a_cell(
+    params: Mapping[str, Any], seed: int, trace: Trace
+) -> Dict[str, float]:
+    """One buffer-size point: a whole threshold-rate bisection."""
+    return {
+        "threshold_rate": threshold_rate(
+            trace, params["buffer_size"], semantic=params["semantic"]
+        )
+    }
+
+
 def figure_5a(
     trace: Optional[Trace] = None,
     buffers: Sequence[int] = DEFAULT_BUFFERS,
     show: bool = False,
+    workers: Optional[int] = None,
 ) -> List[Tuple[int, int, int]]:
     """Figure 5(a): minimum tolerable consumer rate vs buffer size."""
     trace = trace or default_trace()
-    rows = []
-    for buffer_size in buffers:
-        rel = threshold_rate(trace, buffer_size, semantic=False)
-        sem = threshold_rate(trace, buffer_size, semantic=True)
-        rows.append((buffer_size, rel, sem))
+    sweep = (
+        Sweep()
+        .axis("buffer_size", list(buffers))
+        .axis("semantic", [False, True])
+        .run(_figure_5a_cell, workers=workers, context=trace)
+    )
+    rows = [
+        (
+            buffer_size,
+            int(sweep.select(buffer_size=buffer_size, semantic=False).value("threshold_rate")),
+            int(sweep.select(buffer_size=buffer_size, semantic=True).value("threshold_rate")),
+        )
+        for buffer_size in buffers
+    ]
     if show:
         mean_rate = trace.message_rate
         _print_rows(
@@ -263,19 +314,43 @@ def figure_5a(
     return rows
 
 
+def _figure_5b_cell(
+    params: Mapping[str, Any], seed: int, trace: Trace
+) -> Dict[str, float]:
+    """One buffer-size point: all perturbation probes for one protocol."""
+    return {
+        "tolerance_s": perturbation_tolerance(
+            trace,
+            params["buffer_size"],
+            semantic=params["semantic"],
+            probes=params["probes"],
+        )
+    }
+
+
 def figure_5b(
     trace: Optional[Trace] = None,
     buffers: Sequence[int] = DEFAULT_BUFFERS,
     probes: int = 8,
     show: bool = False,
+    workers: Optional[int] = None,
 ) -> List[Tuple[int, float, float]]:
     """Figure 5(b): tolerated full-stop perturbation length vs buffer size."""
     trace = trace or default_trace()
-    rows = []
-    for buffer_size in buffers:
-        rel = perturbation_tolerance(trace, buffer_size, semantic=False, probes=probes)
-        sem = perturbation_tolerance(trace, buffer_size, semantic=True, probes=probes)
-        rows.append((buffer_size, round(rel * 1000, 1), round(sem * 1000, 1)))
+    sweep = (
+        Sweep(base={"probes": probes})
+        .axis("buffer_size", list(buffers))
+        .axis("semantic", [False, True])
+        .run(_figure_5b_cell, workers=workers, context=trace)
+    )
+    rows = [
+        (
+            buffer_size,
+            round(sweep.select(buffer_size=buffer_size, semantic=False).value("tolerance_s") * 1000, 1),
+            round(sweep.select(buffer_size=buffer_size, semantic=True).value("tolerance_s") * 1000, 1),
+        )
+        for buffer_size in buffers
+    ]
     if show:
         _print_rows(
             "Figure 5(b) — tolerated perturbation in ms "
@@ -291,25 +366,47 @@ def figure_5b(
 # ----------------------------------------------------------------------
 
 
+def _view_change_cell(
+    params: Mapping[str, Any], seed: int, trace: Trace
+) -> Dict[str, float]:
+    """One protocol's full-stack view-change measurement (Scenario-based,
+    so the run is invariant-checked inside the measurement harness)."""
+    result = measure_view_change_latency(
+        trace,
+        semantic=params["semantic"],
+        slow_rate=params["slow_rate"],
+        load_time=params["load_time"],
+    )
+    return {
+        "backlog_at_trigger": result.backlog_at_trigger,
+        "purged_at_slow": result.purged_at_slow,
+        "slow_app_latency": result.slow_app_latency,
+    }
+
+
 def view_change_latency_table(
     trace: Optional[Trace] = None,
     slow_rate: float = 25.0,
     load_time: float = 30.0,
     show: bool = False,
+    workers: Optional[int] = None,
 ) -> List[Tuple[str, int, int, float]]:
     """View change under load: backlog, purges, app-perceived latency."""
     trace = trace or default_trace()
+    sweep = (
+        Sweep(base={"slow_rate": slow_rate, "load_time": load_time})
+        .axis("semantic", [False, True])
+        .run(_view_change_cell, workers=workers, context=trace)
+    )
     rows = []
     for semantic in (False, True):
-        result = measure_view_change_latency(
-            trace, semantic=semantic, slow_rate=slow_rate, load_time=load_time
-        )
+        cell = sweep.select(semantic=semantic)
         rows.append(
             (
                 "semantic" if semantic else "reliable",
-                result.backlog_at_trigger,
-                result.purged_at_slow,
-                round(result.slow_app_latency, 3),
+                int(cell.value("backlog_at_trigger")),
+                int(cell.value("purged_at_slow")),
+                round(cell.value("slow_app_latency"), 3),
             )
         )
     if show:
@@ -326,12 +423,33 @@ def view_change_latency_table(
 # ----------------------------------------------------------------------
 
 
+def _ablation_cell(
+    params: Mapping[str, Any], seed: int, trace: Trace
+) -> Dict[str, float]:
+    """Shared slow-receiver cell for the k and representation ablations."""
+    result = run_slow_receiver(
+        trace,
+        ThroughputConfig(
+            buffer_size=params["buffer_size"],
+            consumer_rate=float(params["consumer_rate"]),
+            semantic=True,
+            representation=params.get("representation", "k-enumeration"),
+            k=params.get("k"),
+        ),
+    )
+    return {
+        "purge_ratio": result.purge_ratio,
+        "producer_idle_pct": result.producer_idle_pct,
+    }
+
+
 def ablation_k(
     trace: Optional[Trace] = None,
     buffer_size: int = 15,
     ks: Sequence[int] = (2, 5, 10, 15, 30, 60, 120),
     consumer_rate: int = 30,
     show: bool = False,
+    workers: Optional[int] = None,
 ) -> List[Tuple[int, float, float]]:
     """Sensitivity to the k-enumeration window (paper picks k = 2×buffer).
 
@@ -339,20 +457,19 @@ def ablation_k(
     purge ratio — and with it the idle percentage — collapses.
     """
     trace = trace or default_trace()
-    rows = []
-    for k in ks:
-        result = run_slow_receiver(
-            trace,
-            ThroughputConfig(
-                buffer_size=buffer_size,
-                consumer_rate=consumer_rate,
-                semantic=True,
-                k=k,
-            ),
+    sweep = (
+        Sweep(base={"buffer_size": buffer_size, "consumer_rate": consumer_rate})
+        .axis("k", list(ks))
+        .run(_ablation_cell, workers=workers, context=trace)
+    )
+    rows = [
+        (
+            k,
+            round(sweep.select(k=k).value("purge_ratio"), 3),
+            round(sweep.select(k=k).value("producer_idle_pct"), 2),
         )
-        rows.append(
-            (k, round(result.purge_ratio, 3), round(result.producer_idle_pct, 2))
-        )
+        for k in ks
+    ]
     if show:
         _print_rows(
             f"Ablation — k-enumeration window (buffer={buffer_size}, "
@@ -368,6 +485,7 @@ def ablation_representation(
     buffer_size: int = 15,
     consumer_rate: int = 30,
     show: bool = False,
+    workers: Optional[int] = None,
 ) -> List[Tuple[str, float, float]]:
     """Compare the three obsolescence representations of Section 4.2.
 
@@ -375,24 +493,20 @@ def ablation_representation(
     relations; k-enumeration trades a little purging power for O(k) state.
     """
     trace = trace or default_trace()
-    rows = []
-    for representation in ("tagging", "enumeration", "k-enumeration"):
-        result = run_slow_receiver(
-            trace,
-            ThroughputConfig(
-                buffer_size=buffer_size,
-                consumer_rate=consumer_rate,
-                semantic=True,
-                representation=representation,
-            ),
+    representations = ("tagging", "enumeration", "k-enumeration")
+    sweep = (
+        Sweep(base={"buffer_size": buffer_size, "consumer_rate": consumer_rate})
+        .axis("representation", list(representations))
+        .run(_ablation_cell, workers=workers, context=trace)
+    )
+    rows = [
+        (
+            representation,
+            round(sweep.select(representation=representation).value("purge_ratio"), 3),
+            round(sweep.select(representation=representation).value("producer_idle_pct"), 2),
         )
-        rows.append(
-            (
-                representation,
-                round(result.purge_ratio, 3),
-                round(result.producer_idle_pct, 2),
-            )
-        )
+        for representation in representations
+    ]
     if show:
         _print_rows(
             f"Ablation — representation (buffer={buffer_size}, "
@@ -403,10 +517,27 @@ def ablation_representation(
     return rows
 
 
+def _players_cell(
+    params: Mapping[str, Any], seed: int, context: Any = None
+) -> Dict[str, float]:
+    """Generate and characterise one player-count trace (self-contained:
+    workers regenerate the trace deterministically from the cell params)."""
+    config = GameConfig(rounds=params["rounds"]).scaled_for_players(
+        params["players"]
+    )
+    stats = compute_stats(generate_game_trace(config))
+    return {
+        "message_rate": stats.message_rate,
+        "never_obsolete_pct": 100 * stats.never_obsolete_share,
+        "mean_obsolescence_distance": stats.mean_obsolescence_distance,
+    }
+
+
 def ablation_players(
     players: Sequence[int] = (2, 5, 10, 16),
     rounds: int = 6000,
     show: bool = False,
+    workers: Optional[int] = None,
 ) -> List[Tuple[int, float, float, float]]:
     """Player-count scaling (Section 5.2, last paragraph).
 
@@ -414,19 +545,20 @@ def ablation_players(
     never-obsolete share decreases, and the distance between related
     messages increases.
     """
-    base = GameConfig(rounds=rounds)
-    rows = []
-    for count in players:
-        trace = generate_game_trace(base.scaled_for_players(count))
-        stats = compute_stats(trace)
-        rows.append(
-            (
-                count,
-                round(stats.message_rate, 1),
-                round(100 * stats.never_obsolete_share, 1),
-                round(stats.mean_obsolescence_distance, 1),
-            )
+    sweep = (
+        Sweep(base={"rounds": rounds})
+        .axis("players", list(players))
+        .run(_players_cell, workers=workers)
+    )
+    rows = [
+        (
+            count,
+            round(sweep.select(players=count).value("message_rate"), 1),
+            round(sweep.select(players=count).value("never_obsolete_pct"), 1),
+            round(sweep.select(players=count).value("mean_obsolescence_distance"), 1),
         )
+        for count in players
+    ]
     if show:
         _print_rows(
             "Ablation — player-count scaling",

@@ -30,7 +30,7 @@ means the property holds on the recorded run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.message import DataMessage, MessageId, View, ViewDelivery
 from repro.core.obsolescence import EmptyRelation, ObsolescenceRelation
@@ -39,6 +39,8 @@ from repro.core.svs import SVSListeners
 __all__ = [
     "HistoryRecorder",
     "ProcessHistory",
+    "CHECKS",
+    "DEFAULT_CHECKS",
     "check_svs",
     "check_fifo_sr",
     "check_integrity",
@@ -281,13 +283,39 @@ def check_classic_vs(recorder: HistoryRecorder) -> List[str]:
     return check_svs(recorder, empty)
 
 
+#: Checkers addressable by name, all normalised to the same
+#: ``(recorder, relation) -> violations`` signature.  ``classic-vs`` is
+#: meaningful only under the empty relation, so it is registered here for
+#: explicit selection but excluded from :data:`DEFAULT_CHECKS`.
+CHECKS: Dict[str, Callable[[HistoryRecorder, ObsolescenceRelation], List[str]]] = {
+    "svs": check_svs,
+    "fifo-sr": check_fifo_sr,
+    "integrity": lambda recorder, relation: check_integrity(recorder),
+    "view-agreement": lambda recorder, relation: check_view_agreement(recorder),
+    "classic-vs": lambda recorder, relation: check_classic_vs(recorder),
+}
+
+#: The checks :func:`check_all` runs when no subset is requested.
+DEFAULT_CHECKS: Tuple[str, ...] = ("svs", "fifo-sr", "integrity", "view-agreement")
+
+
 def check_all(
-    recorder: HistoryRecorder, relation: ObsolescenceRelation
+    recorder: HistoryRecorder,
+    relation: ObsolescenceRelation,
+    checks: Optional[Sequence[str]] = None,
 ) -> List[str]:
-    """Run every safety checker; returns all violations found."""
+    """Run the named safety checkers; returns all violations found.
+
+    ``checks=None`` runs :data:`DEFAULT_CHECKS`; passing a subset of
+    :data:`CHECKS` keys lets callers (the sweep executor, fuzz harnesses)
+    pay only for the properties they are probing.
+    """
+    names = DEFAULT_CHECKS if checks is None else tuple(checks)
     violations: List[str] = []
-    violations.extend(check_svs(recorder, relation))
-    violations.extend(check_fifo_sr(recorder, relation))
-    violations.extend(check_integrity(recorder))
-    violations.extend(check_view_agreement(recorder))
+    for name in names:
+        checker = CHECKS.get(name)
+        if checker is None:
+            known = ", ".join(CHECKS)
+            raise ValueError(f"unknown check: {name!r} (known: {known})")
+        violations.extend(checker(recorder, relation))
     return violations

@@ -48,7 +48,7 @@ from typing import (
 
 from repro.core.message import View
 from repro.core.obsolescence import ObsolescenceRelation
-from repro.core.spec import check_all
+from repro.core.spec import CHECKS, check_all
 from repro.core.svs import SVSListeners
 from repro.gcs.endpoint import GroupEndpoint, RateLimitedConsumer
 from repro.gcs.stack import GroupStack, StackConfig
@@ -123,6 +123,7 @@ class Scenario:
         self._metrics: List[str] = []
         self._sample_period = 0.05
         self._check = True
+        self._check_names: Optional[Tuple[str, ...]] = None
         self._histories: Optional[bool] = None
         self._listener_hooks: Dict[str, Callable[..., None]] = {}
         self._view_hooks: List[Callable[[int, View], None]] = []
@@ -340,10 +341,26 @@ class Scenario:
         self._sample_period = period
         return self
 
-    def check(self, enabled: bool = True) -> "Scenario":
+    def check(
+        self, enabled: bool = True, checks: Optional[Sequence[str]] = None
+    ) -> "Scenario":
         """Toggle the executable-specification check after the run
-        (on by default; requires history recording)."""
+        (on by default; requires history recording).
+
+        ``checks`` selects a subset of :data:`repro.core.spec.CHECKS` by
+        name (``"svs"``, ``"fifo-sr"``, ``"integrity"``,
+        ``"view-agreement"``, ``"classic-vs"``); ``None`` runs the default
+        set.  Unknown names fail here, not after the run.
+        """
         self._check = enabled
+        if checks is not None:
+            unknown = [name for name in checks if name not in CHECKS]
+            if unknown:
+                raise ScenarioError(
+                    f"unknown checks: {', '.join(map(repr, unknown))} "
+                    f"(known: {', '.join(CHECKS)})"
+                )
+        self._check_names = tuple(checks) if checks is not None else None
         return self
 
     def histories(self, enabled: bool = True) -> "Scenario":
@@ -678,7 +695,11 @@ class LiveScenario:
 
         violations: Optional[List[str]] = None
         if self.spec._check and self.stack.recorder is not None:
-            violations = check_all(self.stack.recorder, self.stack.relation)
+            violations = check_all(
+                self.stack.recorder,
+                self.stack.relation,
+                checks=self.spec._check_names,
+            )
         want_histories = (
             self.spec._histories
             if self.spec._histories is not None

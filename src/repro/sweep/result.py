@@ -1,0 +1,240 @@
+"""Aggregated sweep results with a stable JSON form.
+
+:class:`SweepResult` mirrors :class:`~repro.scenario.result.ScenarioResult`
+one level up: where a scenario result captures one run, a sweep result
+captures a whole grid — per-cell parameter coordinates, every replicate's
+flattened scalar metrics (plus any invariant violations), and mean /
+standard deviation / 95 % confidence interval per metric.  ``to_json`` /
+``from_json`` round-trip losslessly so sweeps can be archived next to
+``BENCH_*.json`` artefacts and diffed across refactors.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CellRun",
+    "CellResult",
+    "SweepResult",
+    "MetricStats",
+    "summarise",
+]
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class MetricStats:
+    """Mean/CI summary of one metric across a cell's replicates."""
+
+    mean: float
+    std: float
+    ci95: float
+    n: int
+    min: float
+    max: float
+
+
+def summarise(values: List[float]) -> MetricStats:
+    """Sample statistics with a normal-approximation 95 % interval."""
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        std = math.sqrt(variance)
+        ci95 = 1.96 * std / math.sqrt(n)
+    else:
+        std = 0.0
+        ci95 = 0.0
+    return MetricStats(
+        mean=mean, std=std, ci95=ci95, n=n, min=min(values), max=max(values)
+    )
+
+
+_MISSING = object()
+
+
+def _lookup(params: Mapping[str, Any], key: str) -> Any:
+    """A parameter by flat key, falling back to dotted-path descent."""
+    if key in params:
+        return params[key]
+    current: Any = params
+    for part in key.split("."):
+        if not isinstance(current, Mapping) or part not in current:
+            return _MISSING
+        current = current[part]
+    return current
+
+
+@dataclass
+class CellRun:
+    """One replicate of one cell."""
+
+    replicate: int
+    seed: int
+    metrics: Dict[str, float]
+    violations: List[str] = field(default_factory=list)
+    result: Optional[Dict[str, Any]] = None
+    """Full result payload (e.g. a ScenarioResult dict) when the sweep ran
+    with ``keep_results=True``; None otherwise."""
+
+
+@dataclass
+class CellResult:
+    """One grid cell: parameters plus every replicate run."""
+
+    params: Dict[str, Any]
+    runs: List[CellRun]
+
+    @property
+    def ok(self) -> bool:
+        return not any(run.violations for run in self.runs)
+
+    @property
+    def violations(self) -> List[str]:
+        return [v for run in self.runs for v in run.violations]
+
+    def metric_names(self) -> List[str]:
+        names: List[str] = []
+        for run in self.runs:
+            for name in run.metrics:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def stats(self, metric: str) -> MetricStats:
+        values = [
+            run.metrics[metric] for run in self.runs if metric in run.metrics
+        ]
+        if not values:
+            known = ", ".join(self.metric_names()) or "<none>"
+            raise KeyError(f"no metric {metric!r} in cell (known: {known})")
+        return summarise(values)
+
+    def value(self, metric: str) -> float:
+        """Mean of ``metric`` across replicates."""
+        return self.stats(metric).mean
+
+    def matches(self, coords: Mapping[str, Any]) -> bool:
+        """True when every coordinate equals the cell's parameter.
+
+        Dotted coordinates descend into nested parameters, mirroring how
+        dotted axes are expanded by the grid: a cell swept with
+        ``axis("latency_params.mean", ...)`` is addressed as
+        ``select(**{"latency_params.mean": 0.002})``.
+        """
+        return all(
+            _lookup(self.params, key) == value for key, value in coords.items()
+        )
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced."""
+
+    base: Dict[str, Any]
+    axes: Dict[str, List[Any]]
+    seeds: int
+    base_seed: int
+    cells: List[CellResult]
+    schema_version: int = SCHEMA_VERSION
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True when no replicate of any cell recorded a violation."""
+        return all(cell.ok for cell in self.cells)
+
+    @property
+    def violations(self) -> List[str]:
+        return [v for cell in self.cells for v in cell.violations]
+
+    @property
+    def n_runs(self) -> int:
+        return sum(len(cell.runs) for cell in self.cells)
+
+    def select(self, **coords: Any) -> CellResult:
+        """The unique cell whose parameters match every given coordinate."""
+        matching = [cell for cell in self.cells if cell.matches(coords)]
+        if not matching:
+            raise KeyError(f"no cell matches {coords!r}")
+        if len(matching) > 1:
+            raise KeyError(
+                f"{len(matching)} cells match {coords!r}; add coordinates"
+            )
+        return matching[0]
+
+    def column(self, metric: str, **coords: Any) -> List[Any]:
+        """``(params, mean)`` pairs of one metric over matching cells."""
+        return [
+            (cell.params, cell.value(metric))
+            for cell in self.cells
+            if cell.matches(coords)
+        ]
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        for cell, raw in zip(self.cells, data["cells"]):
+            raw["stats"] = {
+                name: asdict(cell.stats(name)) for name in cell.metric_names()
+            }
+        return data
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepResult":
+        version = data.get("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise ValueError(f"unsupported SweepResult schema version: {version}")
+        cells = [
+            CellResult(
+                params=raw["params"],
+                runs=[
+                    CellRun(
+                        replicate=run["replicate"],
+                        seed=run["seed"],
+                        metrics=run["metrics"],
+                        violations=run.get("violations", []),
+                        result=run.get("result"),
+                    )
+                    for run in raw["runs"]
+                ],
+            )
+            for raw in data["cells"]
+        ]
+        return cls(
+            base=data["base"],
+            axes=data["axes"],
+            seeds=data["seeds"],
+            base_seed=data["base_seed"],
+            cells=cells,
+            schema_version=version,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def read_json(cls, path: str) -> "SweepResult":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())

@@ -1,0 +1,168 @@
+"""Scenario-backed sweep cells: a declarative, JSON-safe cell schema.
+
+:func:`scenario_cell` is the bridge between the sweep engine and the
+:class:`~repro.scenario.Scenario` builder: each cell's parameters are a
+plain dict (so they can be hashed into deterministic seeds and shipped to
+worker processes), and the runner materialises them into a scenario, runs
+it, and returns the :class:`~repro.scenario.result.ScenarioResult` — with
+the executable specification checked on every single cell.
+
+Recognised keys (all optional unless noted)::
+
+    n, relation, relation_params, consensus, fd   group composition
+    config          extra StackConfig kwargs ({"fd_delay": 0.02, ...})
+    latency_model, latency_params                 e.g. "lognormal", {"mean": 1e-3}
+    workload, workload_params, workload_sender    registered trace generator
+    consumer_rate   one rate for every member
+    consumers       [{"rate": r, "pids": [..]} ...] (pids optional)
+    drain_every     bulk-drain period (alternative to consumers)
+    perturb         [[pid, at, duration], ...]
+    crash           [[pid, at], ...]
+    view_change     [[at] or [at, pid], ...]
+    metrics         names for Scenario.collect (default: all known)
+    sample_period, histories, checks, drain
+    until           (required) simulated run time
+
+The replicate ``seed`` handed in by the executor seeds the whole stack, so
+two replicates of the same cell differ exactly by their derived seeds.
+
+:class:`ScenarioSweep` packages a grid with this runner::
+
+    result = (
+        ScenarioSweep(base={"until": 10.0, "workload": "game",
+                            "workload_params": {"rounds": 300}},
+                      seeds=3)
+        .axis("n", [3, 5, 8])
+        .axis("latency_params.mean", [0.0005, 0.002])
+        .fixed(latency_model="lognormal", consumer_rate=200.0)
+        .run(workers=4)
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.scenario.builder import KNOWN_METRICS, Scenario
+from repro.scenario.result import ScenarioResult
+from repro.sweep.grid import Sweep, SweepError
+
+__all__ = ["scenario_cell", "ScenarioSweep", "SCENARIO_CELL_KEYS"]
+
+#: Every key :func:`scenario_cell` understands; anything else is an error
+#: (axis typos must not silently no-op a whole sweep).
+SCENARIO_CELL_KEYS = frozenset(
+    {
+        "n",
+        "relation",
+        "relation_params",
+        "consensus",
+        "fd",
+        "config",
+        "latency_model",
+        "latency_params",
+        "workload",
+        "workload_params",
+        "workload_sender",
+        "consumer_rate",
+        "consumers",
+        "drain_every",
+        "perturb",
+        "crash",
+        "view_change",
+        "metrics",
+        "sample_period",
+        "histories",
+        "checks",
+        "drain",
+        "until",
+    }
+)
+
+
+def scenario_cell(
+    params: Mapping[str, Any], seed: int, context: Any = None
+) -> ScenarioResult:
+    """Build, run and invariant-check one declarative scenario cell.
+
+    ``context``, when given, is a mapping of defaults the cell params are
+    laid over (useful to keep bulky shared settings out of the grid).
+    """
+    merged: Dict[str, Any] = {}
+    if context is not None:
+        if not isinstance(context, Mapping):
+            raise SweepError(
+                f"scenario_cell context must be a mapping of defaults, "
+                f"got {type(context).__name__}"
+            )
+        merged.update(context)
+    merged.update(params)
+
+    unknown = set(merged) - SCENARIO_CELL_KEYS
+    if unknown:
+        raise SweepError(
+            f"unknown scenario cell parameters: "
+            f"{', '.join(sorted(map(repr, unknown)))} "
+            f"(known: {', '.join(sorted(SCENARIO_CELL_KEYS))})"
+        )
+    if "until" not in merged:
+        raise SweepError("scenario cells need an 'until' run time")
+
+    scenario = Scenario().group(
+        n=merged.get("n"),
+        relation=merged.get("relation"),
+        consensus=merged.get("consensus"),
+        fd=merged.get("fd"),
+        seed=seed,
+        relation_params=merged.get("relation_params"),
+        **dict(merged.get("config") or {}),
+    )
+    if merged.get("latency_model") is not None:
+        scenario.latency(
+            merged["latency_model"], **dict(merged.get("latency_params") or {})
+        )
+    elif merged.get("latency_params"):
+        # A latency axis without a model would silently no-op every cell.
+        raise SweepError(
+            "latency_params given without latency_model; fix the model "
+            "(e.g. latency_model='lognormal') in the sweep base"
+        )
+    if merged.get("workload") is not None:
+        scenario.workload(
+            merged["workload"],
+            sender=merged.get("workload_sender", 0),
+            **dict(merged.get("workload_params") or {}),
+        )
+    if merged.get("consumer_rate") is not None:
+        scenario.consumers(rate=merged["consumer_rate"])
+    for spec in merged.get("consumers") or ():
+        scenario.consumers(rate=spec["rate"], pids=spec.get("pids"))
+    if merged.get("drain_every") is not None:
+        scenario.drain_every(merged["drain_every"])
+    for pid, at, duration in merged.get("perturb") or ():
+        scenario.perturb(pid=pid, at=at, duration=duration)
+    for pid, at in merged.get("crash") or ():
+        scenario.crash(pid=pid, at=at)
+    for entry in merged.get("view_change") or ():
+        at, pid = (entry[0], entry[1]) if len(entry) > 1 else (entry[0], 0)
+        scenario.view_change(at=at, pid=pid)
+    metrics = merged.get("metrics")
+    if metrics is None:  # absent or explicit None both mean "everything"
+        metrics = KNOWN_METRICS
+    scenario.collect(*metrics)
+    if merged.get("sample_period") is not None:
+        scenario.sample_every(merged["sample_period"])
+    # The whole point of the sweep harness: every cell is checked against
+    # the executable specification while it runs.
+    scenario.check(True, checks=merged.get("checks"))
+    scenario.histories(bool(merged.get("histories", False)))
+    return scenario.run(
+        until=merged["until"], drain=bool(merged.get("drain", True))
+    )
+
+
+class ScenarioSweep(Sweep):
+    """A :class:`Sweep` whose cells are declarative scenario specs."""
+
+    def run(self, runner=scenario_cell, **kwargs):  # type: ignore[override]
+        return super().run(runner, **kwargs)

@@ -1,0 +1,91 @@
+"""Golden-trace regression: refactors must not drift the paper numbers.
+
+Two committed fixtures pin the experiment pipeline end to end:
+
+* ``golden_default_trace.json`` — a content fingerprint (sha256 over every
+  message's identity) and the Section 5.2 statistics of
+  :func:`repro.analysis.experiments.default_trace`;
+* ``golden_figure_4a.json`` — the Figure 4(a) table on a 1500-round trace.
+
+Both were generated from the pre-sweep serial implementation, so they also
+prove the sweep rebase changed nothing.  If a change is *supposed* to move
+these numbers, regenerate the fixtures and say so in the commit.
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+import repro.analysis.experiments as exp
+from repro.workload.game import GameConfig, generate_game_trace
+from repro.workload.trace import compute_stats
+
+FIXTURES = pathlib.Path(__file__).parent.parent / "fixtures"
+
+
+def load(name):
+    with open(FIXTURES / name, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def trace_fingerprint(trace) -> str:
+    h = hashlib.sha256()
+    for m in trace.messages:
+        h.update(f"{m.index}|{m.round}|{m.time:.9f}|{m.item}|{m.kind.value}\n".encode())
+    return h.hexdigest()
+
+
+class TestGoldenDefaultTrace:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return load("golden_default_trace.json")
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return exp.default_trace()
+
+    def test_shape(self, golden, trace):
+        assert len(trace.messages) == golden["messages"]
+        assert trace.rounds == golden["rounds"]
+        assert trace.fps == golden["fps"]
+        assert trace.label == golden["label"]
+
+    def test_content_fingerprint(self, golden, trace):
+        assert trace_fingerprint(trace) == golden["sha256"]
+
+    def test_section_5_2_statistics(self, golden, trace):
+        stats = compute_stats(trace)
+        assert round(stats.message_rate, 6) == golden["stats"]["message_rate"]
+        assert (
+            round(stats.mean_modified_per_round, 6)
+            == golden["stats"]["mean_modified_per_round"]
+        )
+        assert (
+            round(stats.mean_active_items, 6)
+            == golden["stats"]["mean_active_items"]
+        )
+        assert (
+            round(stats.never_obsolete_share, 6)
+            == golden["stats"]["never_obsolete_share"]
+        )
+
+
+class TestGoldenFigure4a:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return load("golden_figure_4a.json")
+
+    def test_table_matches_fixture(self, golden):
+        spec = golden["trace"]
+        assert spec["generator"] == "game"
+        trace = generate_game_trace(
+            GameConfig(rounds=spec["rounds"], seed=spec["seed"])
+        )
+        rows = exp.figure_4a(
+            trace,
+            buffer_size=golden["buffer_size"],
+            rates=tuple(golden["rates"]),
+        )
+        assert [list(row) for row in rows] == golden["rows"]

@@ -1,0 +1,73 @@
+"""Determinism regression: the sweep executor adds no nondeterminism.
+
+The same derived seed must yield a byte-identical ``ScenarioResult.to_json()``
+whether the scenario runs directly, through the serial executor, or through
+a multiprocess pool — and the aggregated sweep JSON must be identical for
+any worker count.
+"""
+
+import json
+
+import pytest
+
+from repro.sweep import ScenarioSweep, derive_seed, scenario_cell
+
+pytestmark = pytest.mark.slow  # spawns worker processes
+
+BASE = {
+    "until": 5.0,
+    "workload": "game",
+    "workload_params": {"rounds": 120},
+    "consumer_rate": 250.0,
+    "consensus": "oracle",
+    "histories": True,
+    "metrics": ["throughput", "purges", "view_changes"],
+}
+
+
+def make_sweep():
+    return (
+        ScenarioSweep(base=BASE, seeds=2, base_seed=42)
+        .axis("n", [2, 3])
+        .axis("latency_model", ["constant", "lognormal"])
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return make_sweep().run(workers=0, keep_results=True)
+
+
+def test_serial_vs_parallel_sweep_json_byte_identical(serial_result):
+    parallel = make_sweep().run(workers=2, keep_results=True)
+    assert serial_result.to_json() == parallel.to_json()
+
+
+def test_executor_result_matches_direct_scenario_run(serial_result):
+    """Per-cell ScenarioResults captured by the executor are byte-identical
+    to running the same cell with the same derived seed by hand."""
+    sweep = make_sweep()
+    for params in sweep.cells():
+        for replicate, seed in enumerate(sweep.seeds_for(params)):
+            direct = scenario_cell(params, seed)
+            captured = next(
+                run.result
+                for run in serial_result.select(
+                    n=params["n"], latency_model=params["latency_model"]
+                ).runs
+                if run.replicate == replicate
+            )
+            assert json.dumps(captured, sort_keys=True) == json.dumps(
+                direct.to_dict(), sort_keys=True
+            )
+
+
+def test_rerun_is_byte_identical(serial_result):
+    again = make_sweep().run(workers=0, keep_results=True)
+    assert serial_result.to_json() == again.to_json()
+
+
+def test_seed_derivation_matches_grid():
+    sweep = make_sweep()
+    params = sweep.cells()[0]
+    assert sweep.seeds_for(params)[1] == derive_seed(42, params, 1)

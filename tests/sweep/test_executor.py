@@ -1,0 +1,123 @@
+"""Executor semantics: serial/parallel equivalence, invariant policy,
+error propagation, metric flattening."""
+
+import pytest
+
+from repro.sweep import (
+    Sweep,
+    SweepCellError,
+    SweepError,
+    SweepInvariantError,
+    flatten_metrics,
+)
+
+pytestmark = pytest.mark.slow  # spawns worker processes
+
+
+# Cells must be module-level to be picklable by the pool.
+def square_cell(params, seed, context):
+    return {"value": float(params["x"] ** 2), "seed_mod": float(seed % 97)}
+
+
+def offset_cell(params, seed, context):
+    return {"value": params["x"] + context["offset"]}
+
+
+def violating_cell(params, seed, context):
+    if params["x"] == 2:
+        return {"value": 0.0, "violations": ["SVS: synthetic violation"]}
+    return {"value": 1.0}
+
+
+def crashing_cell(params, seed, context):
+    raise RuntimeError(f"boom at x={params['x']}")
+
+
+def bad_return_cell(params, seed, context):
+    return 42
+
+
+class TestSerialExecution:
+    def test_runs_every_cell_and_replicate(self):
+        result = Sweep(seeds=3).axis("x", [1, 2, 3]).run(square_cell)
+        assert result.n_runs == 9
+        assert result.select(x=3).value("value") == 9.0
+
+    def test_context_reaches_cells(self):
+        result = Sweep().axis("x", [1]).run(offset_cell, context={"offset": 10})
+        assert result.select(x=1).value("value") == 11.0
+
+    def test_replicates_receive_distinct_seeds(self):
+        result = Sweep(seeds=4).axis("x", [5]).run(square_cell)
+        seeds = [run.seed for run in result.select(x=5).runs]
+        assert len(set(seeds)) == 4
+
+    def test_progress_callback(self):
+        calls = []
+        Sweep(seeds=2).axis("x", [1, 2]).run(
+            square_cell, progress=lambda done, total, run: calls.append((done, total))
+        )
+        assert calls == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_cell_exception_wrapped_with_coordinates(self):
+        with pytest.raises(SweepCellError, match="x': 1.*boom"):
+            Sweep().axis("x", [1]).run(crashing_cell)
+
+    def test_non_mapping_return_rejected(self):
+        with pytest.raises(SweepCellError, match="must .* return|returned"):
+            Sweep().axis("x", [1]).run(bad_return_cell)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(SweepError, match="on_violation"):
+            Sweep().axis("x", [1]).run(square_cell, on_violation="ignore")
+
+
+class TestInvariantPolicy:
+    def test_raise_aborts_on_first_violation(self):
+        with pytest.raises(SweepInvariantError, match="synthetic violation"):
+            Sweep().axis("x", [1, 2, 3]).run(violating_cell)
+
+    def test_collect_records_violations(self):
+        result = Sweep().axis("x", [1, 2, 3]).run(
+            violating_cell, on_violation="collect"
+        )
+        assert not result.ok
+        assert result.violations == ["SVS: synthetic violation"]
+        assert result.select(x=1).ok and not result.select(x=2).ok
+
+
+class TestParallelExecution:
+    def test_matches_serial_results(self):
+        sweep = Sweep(seeds=2).axis("x", [1, 2, 3, 4])
+        serial = sweep.run(square_cell, workers=0)
+        parallel = sweep.run(square_cell, workers=2)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_context_shipped_to_workers(self):
+        result = (
+            Sweep()
+            .axis("x", [1, 2])
+            .run(offset_cell, workers=2, context={"offset": 100})
+        )
+        assert result.select(x=2).value("value") == 102.0
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(SweepCellError, match="boom"):
+            Sweep().axis("x", [1, 2]).run(crashing_cell, workers=2)
+
+    def test_violation_raises_across_pool(self):
+        with pytest.raises(SweepInvariantError):
+            Sweep().axis("x", [1, 2, 3]).run(violating_cell, workers=2)
+
+
+class TestFlattenMetrics:
+    def test_nested_numeric_leaves(self):
+        flat = flatten_metrics({"a": {"b": {"c": 1}}, "d": 2.5})
+        assert flat == {"a.b.c": 1.0, "d": 2.5}
+
+    def test_non_numeric_leaves_skipped(self):
+        flat = flatten_metrics({"a": "text", "b": [1, 2], "c": 3})
+        assert flat == {"c": 3.0}
+
+    def test_bools_coerce_to_floats(self):
+        assert flatten_metrics({"flag": True}) == {"flag": 1.0}

@@ -1,0 +1,105 @@
+"""Grid enumeration, dotted axes, and deterministic seed derivation."""
+
+import pytest
+
+from repro.sweep import Sweep, SweepError, canonical_params, derive_seed
+
+
+class TestGridConstruction:
+    def test_cells_are_cartesian_product_in_axis_order(self):
+        sweep = Sweep(base={"c": 9}).axis("a", [1, 2]).axis("b", ["x", "y"])
+        assert sweep.cells() == [
+            {"c": 9, "a": 1, "b": "x"},
+            {"c": 9, "a": 1, "b": "y"},
+            {"c": 9, "a": 2, "b": "x"},
+            {"c": 9, "a": 2, "b": "y"},
+        ]
+        assert sweep.n_cells == 4
+
+    def test_axes_via_constructor_match_fluent_form(self):
+        a = Sweep(axes={"a": [1, 2], "b": [3]})
+        b = Sweep().axis("a", [1, 2]).axis("b", [3])
+        assert a.cells() == b.cells()
+
+    def test_axis_overrides_base_key(self):
+        sweep = Sweep(base={"a": 0}).axis("a", [1, 2])
+        assert [c["a"] for c in sweep.cells()] == [1, 2]
+
+    def test_fixed_merges_base(self):
+        sweep = Sweep().fixed(x=1).fixed(y=2).axis("a", [0])
+        assert sweep.cells() == [{"x": 1, "y": 2, "a": 0}]
+
+    def test_n_runs_counts_replicates(self):
+        sweep = Sweep(seeds=3).axis("a", [1, 2])
+        assert sweep.n_runs == 6
+
+    def test_coordinates_exclude_base(self):
+        sweep = Sweep(base={"c": 9}).axis("a", [1, 2])
+        assert sweep.coordinates() == [{"a": 1}, {"a": 2}]
+
+    def test_dotted_axis_expands_into_nested_dict(self):
+        sweep = Sweep(base={"latency_params": {"sigma": 2.0}}).axis(
+            "latency_params.mean", [0.001, 0.002]
+        )
+        cells = sweep.cells()
+        assert cells[0]["latency_params"] == {"sigma": 2.0, "mean": 0.001}
+        assert cells[1]["latency_params"] == {"sigma": 2.0, "mean": 0.002}
+        # The shared base mapping is never mutated by expansion.
+        assert sweep.base["latency_params"] == {"sigma": 2.0}
+
+    def test_dotted_axis_through_scalar_is_an_error(self):
+        sweep = Sweep(base={"n": 3}).axis("n.sub", [1])
+        with pytest.raises(SweepError, match="non-dict"):
+            sweep.cells()
+
+
+class TestGridValidation:
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SweepError, match="no values"):
+            Sweep().axis("a", [])
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(SweepError, match="duplicate"):
+            Sweep().axis("a", [1]).axis("a", [2])
+
+    def test_zero_seeds_rejected(self):
+        with pytest.raises(SweepError, match="seeds"):
+            Sweep(seeds=0)
+
+    def test_non_json_axis_values_rejected(self):
+        with pytest.raises(SweepError, match="JSON"):
+            Sweep().axis("a", [object()])
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert derive_seed(0, {"a": 1}, 0) == derive_seed(0, {"a": 1}, 0)
+
+    def test_independent_of_key_order(self):
+        assert derive_seed(0, {"a": 1, "b": 2}, 0) == derive_seed(
+            0, {"b": 2, "a": 1}, 0
+        )
+
+    def test_distinct_per_replicate_cell_and_base_seed(self):
+        seeds = {
+            derive_seed(base, {"a": a}, rep)
+            for base in (0, 1)
+            for a in (1, 2)
+            for rep in (0, 1)
+        }
+        assert len(seeds) == 8
+
+    def test_position_independent(self):
+        """Adding axis values must not reseed existing cells."""
+        small = Sweep(seeds=2).axis("a", [1, 2])
+        large = Sweep(seeds=2).axis("a", [0, 1, 2, 3])
+        cell = {"a": 2}
+        assert small.seeds_for(cell) == large.seeds_for(cell)
+
+    def test_in_63_bit_range(self):
+        seed = derive_seed(123, {"x": "y"}, 7)
+        assert 0 <= seed < 2**63
+
+    def test_canonical_params_rejects_objects(self):
+        with pytest.raises(SweepError, match="context"):
+            canonical_params({"trace": object()})

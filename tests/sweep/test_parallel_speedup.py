@@ -1,0 +1,57 @@
+"""Acceptance: the multiprocess executor actually buys wall-clock.
+
+An 8×5-cell sweep with 2 workers must run at least 1.7× faster than the
+same sweep serially.  Needs ≥2 usable CPUs — skipped (not failed) on
+single-core runners, where no executor could deliver a speedup.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.sweep import ScenarioSweep
+
+pytestmark = pytest.mark.slow
+
+CPUS = len(os.sched_getaffinity(0))
+
+BASE = {
+    "until": 20.0,
+    "workload": "game",
+    "workload_params": {"rounds": 600},
+    "consumer_rate": 150.0,
+    "consensus": "oracle",
+    "histories": False,
+    "metrics": ["throughput", "purges"],
+}
+
+
+def make_sweep():
+    # 8 × 5 = 40 cells, one replicate each.
+    return (
+        ScenarioSweep(base=BASE)
+        .axis("consumer_rate", [60.0, 90.0, 120.0, 150.0, 200.0, 300.0, 400.0, 500.0])
+        .axis("n", [2, 3, 4, 5, 6])
+    )
+
+
+@pytest.mark.skipif(CPUS < 2, reason=f"needs >=2 CPUs, have {CPUS}")
+def test_two_workers_at_least_1_7x_faster_than_serial():
+    sweep = make_sweep()
+    assert sweep.n_cells == 40
+
+    start = time.perf_counter()
+    serial = sweep.run(workers=0)
+    t_serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = sweep.run(workers=2)
+    t_parallel = time.perf_counter() - start
+
+    assert serial.to_json() == parallel.to_json()  # speed, not drift
+    speedup = t_serial / t_parallel
+    assert speedup >= 1.7, (
+        f"2-worker sweep only {speedup:.2f}x faster "
+        f"(serial {t_serial:.2f}s, parallel {t_parallel:.2f}s)"
+    )
