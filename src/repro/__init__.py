@@ -78,7 +78,13 @@ from repro.core import (
     check_svs,
     check_view_agreement,
 )
-from repro.gcs import GroupEndpoint, GroupStack, RateLimitedConsumer, StackConfig
+from repro.gcs import (
+    GroupEndpoint,
+    GroupStack,
+    RateLimitedConsumer,
+    RunContext,
+    StackConfig,
+)
 from repro.registry import (
     consensus_protocols,
     failure_detectors,
@@ -133,6 +139,7 @@ __all__ = [
     "check_all",
     # stack
     "GroupStack",
+    "RunContext",
     "StackConfig",
     "GroupEndpoint",
     "RateLimitedConsumer",

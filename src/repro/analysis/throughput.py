@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.buffers import DeliveryQueue
 from repro.core.message import DataMessage
 from repro.core.obsolescence import EmptyRelation, ObsolescenceRelation
-from repro.metrics.collectors import BusyTracker, TimeWeightedStat
+from repro.metrics.collectors import BusyTracker
 from repro.sim.kernel import Simulator
 from repro.workload.trace import Trace, to_data_messages
 
@@ -129,6 +129,14 @@ def annotated_messages(
 class SlowReceiverSimulation:
     """One producer / bounded buffer / one slow consumer, event-driven."""
 
+    __slots__ = (
+        "messages", "config", "sim", "queue", "_service_time", "_schedule",
+        "_n_messages", "_cursor", "_offset", "_blocked_since",
+        "_consumer_busy", "_consumer_paused", "_stopped", "blocked",
+        "_occ_last", "_occ_val", "_occ_sum", "_occ_max",
+        "first_block_time", "delivered", "finish_time",
+    )
+
     def __init__(
         self,
         messages: Sequence[DataMessage],
@@ -139,6 +147,11 @@ class SlowReceiverSimulation:
         self.config = config
         self.sim = Simulator()
         self.queue = DeliveryQueue(relation, capacity=config.buffer_size)
+        # Hot-path caches: the service period, the kernel's schedule entry
+        # point and the occupancy recorder are looked up once, not per event.
+        self._service_time = 1.0 / config.consumer_rate
+        self._schedule = self.sim.schedule
+        self._n_messages = len(messages)
 
         self._cursor = 0  # next message index to inject
         self._offset = 0.0  # cumulative producer stall
@@ -148,7 +161,12 @@ class SlowReceiverSimulation:
         self._stopped = False
 
         self.blocked = BusyTracker()
-        self.occupancy = TimeWeightedStat()
+        # Time-weighted occupancy, accumulated inline (the TimeWeightedStat
+        # call per queue transition was measurable; same math, no calls).
+        self._occ_last = 0.0
+        self._occ_val = 0.0
+        self._occ_sum = 0.0
+        self._occ_max = 0.0
         self.first_block_time: Optional[float] = None
         self.delivered = 0
         self.finish_time = 0.0
@@ -162,19 +180,56 @@ class SlowReceiverSimulation:
             return
         msg = self.messages[self._cursor]
         due = msg.payload.time + self._offset
-        delay = max(0.0, due - self.sim.now)
-        self.sim.schedule(delay, self._inject)
+        delay = due - self.sim.now
+        self._schedule(delay if delay > 0.0 else 0.0, self._inject)
 
     def _inject(self) -> None:
         if self._stopped:
             return
         msg = self.messages[self._cursor]
-        if self.queue.try_append(msg):
-            self._note_occupancy()
-            self._cursor += 1
-            self.finish_time = self.sim.now
-            self._kick_consumer()
-            self._schedule_next_injection()
+        # Inlined DeliveryQueue.try_append (the queue method remains the
+        # reference implementation; the golden fixtures pin equivalence).
+        # One offered message per call — this is the model's hottest path.
+        queue = self.queue
+        index = queue._live_index
+        if index is not None:
+            candidates = index.obsoleted_by(msg)
+            if candidates:
+                queue._remove_msgs(candidates, exclude=msg.mid)
+        elif not queue._inert:
+            queue.purge_by(msg)
+        stats = queue.stats
+        if queue._size < self.config.buffer_size:
+            if queue._doomed and msg.mid in queue._doomed:
+                queue._compact()
+            queue._items.append(msg)
+            queue._mids.add(msg.mid)
+            if index is not None:
+                index.add(msg)
+            queue._size += 1
+            stats.appended += 1
+            if queue._size > stats.max_len:
+                stats.max_len = queue._size
+            accepted = True
+        else:
+            stats.rejected += 1
+            accepted = False
+        if accepted:
+            now = self.sim.now
+            self._occ_sum += self._occ_val * (now - self._occ_last)
+            self._occ_last = now
+            value = self._occ_val = self.queue._size
+            if value > self._occ_max:
+                self._occ_max = value
+            cursor = self._cursor = self._cursor + 1
+            self.finish_time = now
+            if not self._consumer_busy and not self._consumer_paused and self.queue._size:
+                self._consumer_busy = True
+                self._schedule(self._service_time, self._complete_service)
+            # Inlined _schedule_next_injection (one call per offered message).
+            if cursor < self._n_messages:
+                delay = self.messages[cursor].payload.time + self._offset - now
+                self._schedule(delay if delay > 0.0 else 0.0, self._inject)
         else:
             # Flow control: block until the consumer frees a slot.
             self._blocked_since = self.sim.now
@@ -207,7 +262,7 @@ class SlowReceiverSimulation:
         if not self.queue:
             return
         self._consumer_busy = True
-        self.sim.schedule(1.0 / self.config.consumer_rate, self._complete_service)
+        self._schedule(self._service_time, self._complete_service)
 
     def _complete_service(self) -> None:
         if self._consumer_paused:
@@ -215,14 +270,28 @@ class SlowReceiverSimulation:
             # resume (permanent stalls never resume in this model).
             self._consumer_busy = False
             return
-        if self.queue:
-            self.queue.pop()
+        queue = self.queue
+        if queue._size:
+            # Inlined DeliveryQueue.pop (head is live unless tombstoned).
+            if queue._doomed:
+                queue._reclaim_head()
+            head = queue._items.pop(0)
+            queue._mids.discard(head.mid)
+            if queue._live_index is not None:
+                queue._live_index.discard(head)
+            queue._size -= 1
+            queue.stats.popped += 1
             self.delivered += 1
-            self._note_occupancy()
+            now = self.sim.now
+            self._occ_sum += self._occ_val * (now - self._occ_last)
+            self._occ_last = now
+            self._occ_val = queue._size
         self._consumer_busy = False
         if self._blocked_since is not None:
             self._unblock()
-        self._kick_consumer()
+        if not self._consumer_busy and not self._consumer_paused and queue._size:
+            self._consumer_busy = True
+            self._schedule(self._service_time, self._complete_service)
 
     def _pause_consumer(self) -> None:
         self._consumer_paused = True
@@ -239,7 +308,9 @@ class SlowReceiverSimulation:
 
         end = max(self.sim.now, self.finish_time)
         self.blocked.finish(end)
-        self.occupancy.finish(end)
+        # Close the occupancy integral at the end time.
+        self._occ_sum += self._occ_val * (end - self._occ_last)
+        self._occ_last = end
         injected_all = self._cursor >= len(self.messages)
         duration = self.finish_time if injected_all else end
         blocked_fraction = (
@@ -249,8 +320,8 @@ class SlowReceiverSimulation:
             config=self.config,
             duration=duration,
             blocked_fraction=blocked_fraction,
-            mean_occupancy=self.occupancy.mean,
-            max_occupancy=int(self.occupancy.maximum),
+            mean_occupancy=(self._occ_sum / end) if end > 0 else 0.0,
+            max_occupancy=int(self._occ_max),
             offered=self._cursor,
             delivered=self.delivered,
             purged=self.queue.stats.purged,
@@ -258,8 +329,7 @@ class SlowReceiverSimulation:
             completed=injected_all,
         )
 
-    def _note_occupancy(self) -> None:
-        self.occupancy.update(self.sim.now, len(self.queue))
+
 
 
 def run_slow_receiver(trace: Trace, config: ThroughputConfig) -> ThroughputResult:

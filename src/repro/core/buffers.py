@@ -24,6 +24,25 @@ order-dependent, which is exactly the hazard documented in
 View messages (:class:`~repro.core.message.ViewDelivery`) are never purged
 and never dominate anything; only DATA messages *tagged with the same view*
 participate in purging, as in the paper.
+
+Kernel v2 changed the queue's two hot paths:
+
+* **Indexed purging** — when the relation provides an obsolescence index
+  (:meth:`~repro.core.obsolescence.ObsolescenceRelation.make_index`),
+  purge victims resolve by per-key lookup instead of a linear
+  ``obsoletes`` scan.  Relations without an index — and queues built with
+  ``use_index=False`` — fall back to the naive scan, which remains the
+  behavioural reference (``tests/core/test_purge_index.py`` asserts the
+  two paths decide identically).
+* **Lazy removal** — purged entries are tombstoned (their ids join
+  ``_doomed``) and reclaimed when the head passes them or on periodic
+  compaction, so purging one message out of an n-message backlog is O(1)
+  amortised instead of an O(n) rebuild.  All observable state (length,
+  iteration, ``contains_mid``, stats) reflects live entries only.
+
+``purge``/``purge_by`` return the removed messages sorted by
+``(sender, sn)`` — identical to arrival order for the per-sender FIFO
+streams the protocol produces.
 """
 
 from __future__ import annotations
@@ -76,57 +95,89 @@ class DeliveryQueue:
     fills up, a node ceases to accept further messages").
     """
 
+    __slots__ = (
+        "relation", "capacity", "_items", "_mids", "_doomed", "_size",
+        "_index", "_inert", "_live_index", "stats",
+    )
+
     def __init__(
         self,
         relation: ObsolescenceRelation,
         capacity: Optional[int] = None,
+        use_index: bool = True,
     ) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError(f"capacity must be positive or None: {capacity}")
         self.relation = relation
         self.capacity = capacity
+        # ``_items`` is physical storage and may contain tombstoned
+        # entries (ids in ``_doomed``); ``_size`` counts live entries.
         self._items: List[QueueEntry] = []
+        self._doomed: Set[MessageId] = set()
+        self._size = 0
         self._mids: Set[MessageId] = set()
+        # ``use_index=False`` forces the naive purge scans — the reference
+        # path the property tests compare the index against.  An *inert*
+        # index (empty relation) short-circuits purging altogether.
+        self._index = relation.make_index() if use_index else None
+        self._inert = self._index is not None and self._index.inert
+        # The index consulted on the hot path: None both for "no index"
+        # (naive fallback) and "inert" (purging impossible); ``_inert``
+        # disambiguates the two.
+        self._live_index = None if self._inert else self._index
         self.stats = QueueStats()
 
     # ------------------------------------------------------------------
-    # Basic container behaviour
+    # Basic container behaviour (live entries only)
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._items)
+        return self._size
 
     def __iter__(self) -> Iterator[QueueEntry]:
-        return iter(self._items)
+        if not self._doomed:
+            return iter(self._items)
+        doomed = self._doomed
+        return iter(
+            [
+                m
+                for m in self._items
+                if not (isinstance(m, DataMessage) and m.mid in doomed)
+            ]
+        )
 
     def __bool__(self) -> bool:
-        return bool(self._items)
+        return self._size > 0
 
     def contains_mid(self, mid: MessageId) -> bool:
         return mid in self._mids
 
     @property
     def is_full(self) -> bool:
-        return self.capacity is not None and len(self._items) >= self.capacity
+        return self.capacity is not None and self._size >= self.capacity
 
     @property
     def free_space(self) -> Optional[int]:
         if self.capacity is None:
             return None
-        return self.capacity - len(self._items)
+        return self.capacity - self._size
 
     def data_messages(self) -> List[DataMessage]:
-        return [m for m in self._items if isinstance(m, DataMessage)]
+        return [m for m in self if isinstance(m, DataMessage)]
 
     def data_in_view(self, view_id: int) -> List[DataMessage]:
         return [
             m
-            for m in self._items
+            for m in self
             if isinstance(m, DataMessage) and m.view_id == view_id
         ]
 
     def peek(self) -> Optional[QueueEntry]:
-        return self._items[0] if self._items else None
+        if not self._size:
+            return None
+        if self._doomed:
+            self._reclaim_head()
+        return self._items[0]
 
     # ------------------------------------------------------------------
     # Mutation
@@ -136,15 +187,24 @@ class DeliveryQueue:
         """Append to the tail; raises :class:`QueueFullError` when bounded
         and full.  Does not purge — callers follow Figure 1 and invoke
         :meth:`purge` (or use :meth:`try_append`)."""
-        if self.is_full:
+        if self.capacity is not None and self._size >= self.capacity:
             self.stats.rejected += 1
             raise QueueFullError(f"queue at capacity {self.capacity}")
-        self._items.append(msg)
         if isinstance(msg, DataMessage):
+            if self._doomed and msg.mid in self._doomed:
+                # Re-accepting a previously purged id (possible via the
+                # installation flush): drop its tombstone first so the
+                # fresh entry is not mistaken for it.
+                self._compact()
             self._mids.add(msg.mid)
-        self.stats.appended += 1
-        if len(self._items) > self.stats.max_len:
-            self.stats.max_len = len(self._items)
+            if self._live_index is not None:
+                self._live_index.add(msg)
+        self._items.append(msg)
+        self._size += 1
+        stats = self.stats
+        stats.appended += 1
+        if self._size > stats.max_len:
+            stats.max_len = self._size
 
     def try_append(self, msg: QueueEntry) -> bool:
         """Purge-then-append for bounded queues.
@@ -154,21 +214,49 @@ class DeliveryQueue:
         traffic under SVS.  Returns False (leaving the queue unchanged
         except for the purge) when no space can be found.
         """
+        stats = self.stats
         if isinstance(msg, DataMessage):
-            self.purge_by(msg)
-        if self.is_full:
-            self.stats.rejected += 1
-            return False
-        self.append(msg)
+            # Purge inline (mirrors purge_by): this is the per-offered-
+            # message hot path of the throughput model and the protocol.
+            index = self._live_index
+            if index is not None:
+                candidates = index.obsoleted_by(msg)
+                if candidates:
+                    self._remove_msgs(candidates, exclude=msg.mid)
+            elif not self._inert:
+                self.purge_by(msg)
+            if self.capacity is not None and self._size >= self.capacity:
+                stats.rejected += 1
+                return False
+            if self._doomed and msg.mid in self._doomed:
+                self._compact()
+            self._items.append(msg)
+            self._mids.add(msg.mid)
+            if index is not None:
+                index.add(msg)
+        else:
+            if self.capacity is not None and self._size >= self.capacity:
+                stats.rejected += 1
+                return False
+            self._items.append(msg)
+        self._size += 1
+        stats.appended += 1
+        if self._size > stats.max_len:
+            stats.max_len = self._size
         return True
 
     def pop(self) -> QueueEntry:
         """Remove and return the head (Figure 1 t1: removeFirst)."""
-        if not self._items:
+        if not self._size:
             raise IndexError("pop from empty DeliveryQueue")
+        if self._doomed:
+            self._reclaim_head()
         msg = self._items.pop(0)
         if isinstance(msg, DataMessage):
             self._mids.discard(msg.mid)
+            if self._live_index is not None:
+                self._live_index.discard(msg)
+        self._size -= 1
         self.stats.popped += 1
         return msg
 
@@ -179,11 +267,23 @@ class DeliveryQueue:
     def purge(self) -> List[DataMessage]:
         """Remove every same-view data message dominated by a queued one.
 
-        Returns the purged messages (useful for accounting and tests).
+        Returns the purged messages sorted by ``(sender, sn)`` (useful
+        for accounting and tests).
         """
+        if self._inert:
+            return []
         data = self.data_messages()
         if len(data) < 2:
             return []
+        if self._live_index is not None:
+            victims: List[DataMessage] = []
+            for new in data:
+                for old in self._live_index.obsoleted_by(new):
+                    if old.mid != new.mid:
+                        victims.append(old)
+            if not victims:
+                return []
+            return self._remove_msgs(victims)
         removed = [
             old
             for old in data
@@ -193,9 +293,9 @@ class DeliveryQueue:
                 if new.mid != old.mid
             )
         ]
-        if removed:
-            self._remove_all(removed)
-        return removed
+        if not removed:
+            return []
+        return self._remove_msgs(removed)
 
     def purge_by(self, new: DataMessage) -> List[DataMessage]:
         """Remove queued same-view data messages that ``new`` makes obsolete.
@@ -203,18 +303,27 @@ class DeliveryQueue:
         ``new`` need not be in the queue — this is the fast path used when
         a single message arrives (appending it and running the full
         :meth:`purge` is equivalent for transitive relations but O(n²)).
+        With an index the victims are resolved by per-key lookup; the
+        linear scan below is the fallback (and reference) path.
         """
+        if self._inert:
+            return []
+        if self._live_index is not None:
+            candidates = self._live_index.obsoleted_by(new)
+            if not candidates:
+                return []
+            return self._remove_msgs(candidates, exclude=new.mid)
         removed = [
             old
-            for old in self._items
+            for old in self
             if isinstance(old, DataMessage)
             and old.view_id == new.view_id
             and old.mid != new.mid
             and self.relation.obsoletes(new, old)
         ]
-        if removed:
-            self._remove_all(removed)
-        return removed
+        if not removed:
+            return []
+        return self._remove_msgs(removed)
 
     def covered(self, msg: DataMessage) -> bool:
         """True iff some queued message m' satisfies ``msg ⊑ m'``.
@@ -224,21 +333,77 @@ class DeliveryQueue:
         """
         if msg.mid in self._mids:
             return True
+        if self._inert:
+            return False
+        if self._live_index is not None:
+            return self._live_index.coverer_of(msg)
         return any(
             isinstance(other, DataMessage) and self.relation.covers(other, msg)
-            for other in self._items
+            for other in self
         )
 
-    def _remove_all(self, removed: Iterable[DataMessage]) -> None:
-        doomed = {m.mid for m in removed}
+    # ------------------------------------------------------------------
+    # Tombstoned removal
+    # ------------------------------------------------------------------
+
+    def _remove_msgs(
+        self,
+        victims: Iterable[DataMessage],
+        exclude: Optional[MessageId] = None,
+    ) -> List[DataMessage]:
+        """Tombstone ``victims`` (live queued messages); return them sorted
+        by ``(sender, sn)``, deduplicated."""
+        doomed = self._doomed
+        mids = self._mids
+        index = self._live_index
+        removed: List[DataMessage] = []
+        for m in victims:
+            mid = m.mid
+            if mid == exclude or mid in doomed:
+                continue
+            doomed.add(mid)
+            mids.discard(mid)
+            if index is not None:
+                index.discard(m)
+            removed.append(m)
+        if not removed:
+            return []
+        self._size -= len(removed)
+        self.stats.purged += len(removed)
+        removed.sort(key=_mid_of)
+        # Amortised compaction: never let tombstones dominate storage.
+        if len(self._items) > 2 * self._size + 16:
+            self._compact()
+        return removed
+
+    def _reclaim_head(self) -> None:
+        """Physically drop tombstoned entries sitting at the head."""
+        items = self._items
+        doomed = self._doomed
+        while items:
+            head = items[0]
+            if isinstance(head, DataMessage) and head.mid in doomed:
+                doomed.remove(head.mid)
+                items.pop(0)
+            else:
+                break
+
+    def _compact(self) -> None:
+        """Physically remove every tombstoned entry."""
+        doomed = self._doomed
+        if not doomed:
+            return
         self._items = [
             m
             for m in self._items
             if not (isinstance(m, DataMessage) and m.mid in doomed)
         ]
-        self._mids -= doomed
-        self.stats.purged += len(doomed)
+        doomed.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         cap = "∞" if self.capacity is None else str(self.capacity)
-        return f"DeliveryQueue(len={len(self._items)}/{cap})"
+        return f"DeliveryQueue(len={self._size}/{cap})"
+
+
+def _mid_of(msg: DataMessage) -> MessageId:
+    return msg.mid

@@ -19,7 +19,7 @@ identifier space every obsolescence representation builds on
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, FrozenSet, Optional, Tuple
+from typing import Any, FrozenSet, NamedTuple, Optional, Tuple
 
 __all__ = [
     "MessageId",
@@ -32,9 +32,13 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True, order=True)
-class MessageId:
-    """Globally unique message identifier: sender pid + per-sender seqno."""
+class MessageId(NamedTuple):
+    """Globally unique message identifier: sender pid + per-sender seqno.
+
+    A named tuple rather than a dataclass: ids are hashed and compared on
+    every queue, index and delivered-log operation, so they get C-level
+    ``__hash__``/``__eq__``/``__lt__``.  Ordering stays (sender, sn).
+    """
 
     sender: int
     sn: int
@@ -43,7 +47,7 @@ class MessageId:
         return f"{self.sender}.{self.sn}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class View:
     """A group view: numeric epoch plus the member set.
 
@@ -81,7 +85,7 @@ class View:
         return f"View({self.vid}, {{{', '.join(map(str, self.sorted_members))}}})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DataMessage:
     """An application data message, ``[DATA, v, d]`` in Figure 1.
 
@@ -110,7 +114,7 @@ class DataMessage:
         return f"Data({self.mid}@v{self.view_id})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewDelivery:
     """The ``[VIEW, v]`` control message placed in the delivery queue.
 
@@ -124,7 +128,7 @@ class ViewDelivery:
         return f"ViewDelivery({self.view!r})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InitMessage:
     """``[INIT, v, l]``: start a view change for view ``view_id``.
 
@@ -139,7 +143,7 @@ class InitMessage:
         object.__setattr__(self, "leave", frozenset(self.leave))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PredMessage:
     """``[PRED, v, P]``: the sender's accepted-message set for view ``view_id``.
 
@@ -152,7 +156,7 @@ class PredMessage:
     messages: Tuple[DataMessage, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """Typed wrapper multiplexing sub-protocols over one network channel.
 

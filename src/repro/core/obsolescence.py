@@ -33,13 +33,14 @@ benchmark ``benchmarks/test_bench_ablation_k.py`` quantifies it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.message import DataMessage, MessageId
 from repro.registry import relations as _relation_registry
 
 __all__ = [
     "ObsolescenceRelation",
+    "PurgeIndex",
     "EmptyRelation",
     "ItemTagging",
     "MessageEnumeration",
@@ -49,6 +50,52 @@ __all__ = [
     "ExplicitRelation",
     "check_strict_partial_order",
 ]
+
+
+class PurgeIndex:
+    """Incremental index over a set of queued messages, per relation.
+
+    :class:`~repro.core.buffers.DeliveryQueue` keeps one of these in sync
+    with its contents (``add``/``discard`` on every append, pop and purge)
+    and consults it to answer the two questions the Figure 1 protocol asks
+    on the hot path:
+
+    * ``obsoleted_by(new)`` — which indexed messages does ``new`` make
+      obsolete?  (the t2/t3 purge; previously an O(n) scan with one
+      ``obsoletes`` call per queued message)
+    * ``coverer_of(old)`` — does some indexed message make ``old``
+      obsolete?  (the t3/flush coverage test)
+
+    Contract: both answers must *exactly* match the naive scan over the
+    indexed set using the owning relation's ``obsoletes`` — the property
+    test in ``tests/core/test_purge_index.py`` enforces this for every
+    registered relation.  ``obsoleted_by`` may return candidates in any
+    deterministic order (callers re-establish queue order) but must apply
+    the same view filter the queue's purge applies: only pairs tagged with
+    the same view are related.  ``coverer_of`` must *not* filter by view —
+    mirroring the queue's coverage scan, which tests the relation across
+    everything queued.
+
+    ``inert`` declares that both queries are constant (nothing ever
+    relates to anything); the queue then skips index maintenance and purge
+    calls entirely — the reliable-protocol fast path.
+    """
+
+    inert = False
+
+    def add(self, msg: DataMessage) -> None:
+        raise NotImplementedError
+
+    def discard(self, msg: DataMessage) -> None:
+        raise NotImplementedError
+
+    def obsoleted_by(self, new: DataMessage) -> List[DataMessage]:
+        """Indexed messages of ``new``'s view that ``new`` obsoletes."""
+        raise NotImplementedError
+
+    def coverer_of(self, old: DataMessage) -> bool:
+        """True iff some indexed message makes ``old`` obsolete."""
+        raise NotImplementedError
 
 
 class ObsolescenceRelation:
@@ -74,6 +121,39 @@ class ObsolescenceRelation:
         """True iff ``old ⊑ new`` (equal, or made obsolete by ``new``)."""
         return old.mid == new.mid or self.obsoletes(new, old)
 
+    def make_index(self) -> Optional[PurgeIndex]:
+        """A fresh :class:`PurgeIndex` for this relation, or ``None``.
+
+        ``None`` (the default) tells the delivery queue to fall back to
+        the naive linear purge scan — correct for any relation, including
+        third-party ones that predate the index protocol.
+        """
+        return None
+
+
+class _EmptyIndex(PurgeIndex):
+    """Nothing relates to anything: every purge decision is a constant.
+
+    This turns the reliable-protocol baseline's per-message purge scan —
+    pure overhead that can never remove anything — into no calls at all
+    (``inert`` lets the queue skip the index entirely).
+    """
+
+    __slots__ = ()
+    inert = True
+
+    def add(self, msg: DataMessage) -> None:
+        pass
+
+    def discard(self, msg: DataMessage) -> None:
+        pass
+
+    def obsoleted_by(self, new: DataMessage) -> List[DataMessage]:
+        return []
+
+    def coverer_of(self, old: DataMessage) -> bool:
+        return False
+
 
 class EmptyRelation(ObsolescenceRelation):
     """The empty relation: nothing is ever obsolete.
@@ -88,6 +168,9 @@ class EmptyRelation(ObsolescenceRelation):
 
     def obsoletes(self, new: DataMessage, old: DataMessage) -> bool:
         return False
+
+    def make_index(self) -> PurgeIndex:
+        return _EmptyIndex()
 
 
 class ItemTagging(ObsolescenceRelation):
@@ -111,6 +194,64 @@ class ItemTagging(ObsolescenceRelation):
             return False
         return new.annotation == old.annotation and old.sn < new.sn
 
+    def make_index(self) -> PurgeIndex:
+        return _TagIndex()
+
+
+class _TagIndex(PurgeIndex):
+    """Per-(sender, tag) latest-wins buckets for :class:`ItemTagging`.
+
+    A new message relates only to queued messages of its own sender and
+    tag, so purge candidates come from one bucket lookup instead of a
+    whole-queue scan; the bucket holds the handful of not-yet-consumed
+    updates of one item.  Buckets span views (the relation ignores views;
+    the *purge* filters them, coverage does not — see :class:`PurgeIndex`).
+    """
+
+    __slots__ = ("_buckets",)
+
+    def __init__(self) -> None:
+        # (sender, tag) -> {sn: message}, insertion == queue order.
+        self._buckets: Dict[Tuple[int, Any], Dict[int, DataMessage]] = {}
+
+    def add(self, msg: DataMessage) -> None:
+        if msg.annotation is None:
+            return
+        key = (msg.mid.sender, msg.annotation)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = {msg.sn: msg}
+        else:
+            bucket[msg.sn] = msg
+
+    def discard(self, msg: DataMessage) -> None:
+        if msg.annotation is None:
+            return
+        key = (msg.mid.sender, msg.annotation)
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.pop(msg.sn, None)
+            if not bucket:
+                del self._buckets[key]
+
+    def obsoleted_by(self, new: DataMessage) -> List[DataMessage]:
+        if new.annotation is None:
+            return []
+        bucket = self._buckets.get((new.mid.sender, new.annotation))
+        if not bucket:
+            return []
+        sn, view_id = new.sn, new.view_id
+        return [m for m in bucket.values() if m.sn < sn and m.view_id == view_id]
+
+    def coverer_of(self, old: DataMessage) -> bool:
+        if old.annotation is None:
+            return False
+        bucket = self._buckets.get((old.mid.sender, old.annotation))
+        if not bucket:
+            return False
+        sn = old.sn
+        return any(s > sn for s in bucket)
+
 
 class MessageEnumeration(ObsolescenceRelation):
     """Explicit enumeration (Section 4.2, "Message Enumeration").
@@ -129,6 +270,68 @@ class MessageEnumeration(ObsolescenceRelation):
         return old.mid in annotation and (
             old.mid.sender != new.mid.sender or old.sn < new.sn
         )
+
+    def make_index(self) -> PurgeIndex:
+        return _EnumIndex()
+
+
+class _EnumIndex(PurgeIndex):
+    """Id and reverse-enumeration maps for :class:`MessageEnumeration`.
+
+    Purge candidates are direct lookups of the new message's enumerated
+    ids; coverage inverts the annotation sets so "is some queued message
+    enumerating ``old``?" is one dict probe instead of a scan over every
+    queued annotation.
+    """
+
+    __slots__ = ("_by_mid", "_rev")
+
+    def __init__(self) -> None:
+        self._by_mid: Dict[MessageId, DataMessage] = {}
+        # target mid -> {enumerating mid: enumerating message}
+        self._rev: Dict[MessageId, Dict[MessageId, DataMessage]] = {}
+
+    def add(self, msg: DataMessage) -> None:
+        self._by_mid[msg.mid] = msg
+        if msg.annotation:
+            for target in msg.annotation:
+                bucket = self._rev.get(target)
+                if bucket is None:
+                    self._rev[target] = {msg.mid: msg}
+                else:
+                    bucket[msg.mid] = msg
+
+    def discard(self, msg: DataMessage) -> None:
+        self._by_mid.pop(msg.mid, None)
+        if msg.annotation:
+            for target in msg.annotation:
+                bucket = self._rev.get(target)
+                if bucket is not None:
+                    bucket.pop(msg.mid, None)
+                    if not bucket:
+                        del self._rev[target]
+
+    @staticmethod
+    def _related(new: DataMessage, old: DataMessage) -> bool:
+        return old.mid.sender != new.mid.sender or old.sn < new.sn
+
+    def obsoleted_by(self, new: DataMessage) -> List[DataMessage]:
+        if not new.annotation:
+            return []
+        by_mid = self._by_mid
+        view_id = new.view_id
+        out = []
+        for target in new.annotation:
+            old = by_mid.get(target)
+            if old is not None and old.view_id == view_id and self._related(new, old):
+                out.append(old)
+        return out
+
+    def coverer_of(self, old: DataMessage) -> bool:
+        bucket = self._rev.get(old.mid)
+        if not bucket:
+            return False
+        return any(self._related(new, old) for new in bucket.values())
 
 
 class EnumerationEncoder:
@@ -214,6 +417,77 @@ class KEnumeration(ObsolescenceRelation):
         if distance < 1 or distance > self.k:
             return False
         return bool((bitmap >> (distance - 1)) & 1)
+
+    def make_index(self) -> PurgeIndex:
+        return _KEnumIndex(self.k)
+
+
+class _KEnumIndex(PurgeIndex):
+    """Per-sender sequence-number maps for :class:`KEnumeration`.
+
+    The bitmap of a new message names its purge victims by *distance*, so
+    candidates are direct ``sn - d`` probes over the set bits — O(popcount)
+    instead of an O(n) scan.  Coverage probes whichever is smaller: the
+    sender's queued messages or the k-window above ``old.sn``.
+    """
+
+    __slots__ = ("k", "_mask", "_by_sender")
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self._mask = (1 << k) - 1
+        # sender -> {sn: message}; sns are globally unique per sender.
+        self._by_sender: Dict[int, Dict[int, DataMessage]] = {}
+
+    def add(self, msg: DataMessage) -> None:
+        sender = msg.mid.sender
+        bucket = self._by_sender.get(sender)
+        if bucket is None:
+            self._by_sender[sender] = {msg.sn: msg}
+        else:
+            bucket[msg.sn] = msg
+
+    def discard(self, msg: DataMessage) -> None:
+        bucket = self._by_sender.get(msg.mid.sender)
+        if bucket is not None:
+            bucket.pop(msg.sn, None)
+            if not bucket:
+                del self._by_sender[msg.mid.sender]
+
+    def obsoleted_by(self, new: DataMessage) -> List[DataMessage]:
+        bitmap = new.annotation
+        if not bitmap:
+            return []
+        bucket = self._by_sender.get(new.mid.sender)
+        if not bucket:
+            return []
+        bitmap &= self._mask  # bits beyond k are outside the relation
+        sn, view_id = new.sn, new.view_id
+        out = []
+        while bitmap:
+            low = bitmap & -bitmap
+            bitmap ^= low
+            old = bucket.get(sn - low.bit_length())
+            if old is not None and old.view_id == view_id:
+                out.append(old)
+        return out
+
+    def coverer_of(self, old: DataMessage) -> bool:
+        bucket = self._by_sender.get(old.mid.sender)
+        if not bucket:
+            return False
+        sn, k = old.sn, self.k
+        if len(bucket) <= k:
+            for s, new in bucket.items():
+                d = s - sn
+                if 1 <= d <= k and new.annotation and (new.annotation >> (d - 1)) & 1:
+                    return True
+            return False
+        for d in range(1, k + 1):
+            new = bucket.get(sn + d)
+            if new is not None and new.annotation and (new.annotation >> (d - 1)) & 1:
+                return True
+        return False
 
 
 class KEnumerationEncoder:

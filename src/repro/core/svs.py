@@ -76,6 +76,11 @@ from repro.sim.kernel import Simulator
 from repro.sim.network import Network
 from repro.sim.process import ProcessId, SimProcess
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gcs.context import RunContext
+
 __all__ = ["SVS_STREAM", "SVSListeners", "SVSProcess"]
 
 SVS_STREAM = "svs"
@@ -128,6 +133,12 @@ class SVSProcess(SimProcess):
         ``stability_interval`` seconds, pruning of group-stable messages
         from the delivered map and from the t5 local predicate.  ``None``
         (default) reproduces the paper's Figure 1 exactly.
+    ctx:
+        Optional pre-validated :class:`~repro.gcs.context.RunContext`.
+        When a stack builds its members from a context, per-process
+        parameter validation is skipped — the context validated the shared
+        configuration once for the whole run (and for every replicate
+        reusing it).
     """
 
     def __init__(
@@ -141,8 +152,10 @@ class SVSProcess(SimProcess):
         fd: Union[FailureDetector, Callable[[SimProcess], FailureDetector]],
         listeners: Optional[SVSListeners] = None,
         stability_interval: Optional[float] = None,
+        ctx: Optional["RunContext"] = None,
     ) -> None:
         super().__init__(pid, sim, network)
+        self.ctx = ctx
         if not isinstance(fd, FailureDetector):
             fd = fd(self)
         self.relation = relation
@@ -179,7 +192,8 @@ class SVSProcess(SimProcess):
         if stability_interval is not None:
             from repro.gcs.stability import StabilityState, WatermarkTracker
 
-            if stability_interval <= 0:
+            # A context already validated the shared configuration once.
+            if ctx is None and stability_interval <= 0:
                 raise ValueError("stability_interval must be positive")
             self._stability = StabilityState(pid, WatermarkTracker())
             self.set_timer(
@@ -243,9 +257,10 @@ class SVSProcess(SimProcess):
             mid=mid, view_id=self.cv.vid, payload=payload, annotation=annotation
         )
         self.to_deliver.append(msg)
+        envelope = Envelope(stream=SVS_STREAM, body=msg)
         for member in self.cv.members:
             if member != self.pid:
-                self.send(member, Envelope(stream=SVS_STREAM, body=msg))
+                self.send(member, envelope)
         self.to_deliver.purge_by(msg)
         self._note_processed(msg)
         if self.listeners.on_multicast is not None:
@@ -365,11 +380,12 @@ class SVSProcess(SimProcess):
         if self.listeners.on_pred is not None:
             self.listeners.on_pred(self.pid, len(local_pred))
         pred = PredMessage(vid, tuple(local_pred))
+        envelope = Envelope(stream=SVS_STREAM, body=pred)
         for member in self.cv.members:
             if member == self.pid:
                 self.sim.schedule(0.0, self._handle_pred, self.pid, pred)
             else:
-                self.send(member, Envelope(stream=SVS_STREAM, body=pred))
+                self.send(member, envelope)
 
     def _local_pred(self, vid: int) -> List[DataMessage]:
         """All data of view ``vid`` this process accepted for delivery.

@@ -1,6 +1,7 @@
 """Group communication service: stack assembly, application endpoints,
-and stability tracking."""
+stability tracking, and reusable run contexts."""
 
+from repro.gcs.context import RunContext
 from repro.gcs.endpoint import GroupEndpoint, RateLimitedConsumer
 from repro.gcs.stability import StabilityState, StableMessage, WatermarkTracker
 from repro.gcs.stack import GroupStack, StackConfig
@@ -8,6 +9,7 @@ from repro.gcs.stack import GroupStack, StackConfig
 __all__ = [
     "GroupStack",
     "StackConfig",
+    "RunContext",
     "GroupEndpoint",
     "RateLimitedConsumer",
     "WatermarkTracker",

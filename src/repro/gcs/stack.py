@@ -47,6 +47,11 @@ from repro.sim.kernel import Simulator
 from repro.sim.network import Network
 from repro.sim.process import ProcessId
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gcs.context import RunContext
+
 __all__ = ["GroupStack", "StackConfig"]
 
 
@@ -93,6 +98,13 @@ class StackConfig:
             raise ValueError(
                 f"heartbeat_timeout must be positive: {self.heartbeat_timeout!r}"
             )
+        # Validated here (not only in SVSProcess) so every construction
+        # path — including context-built stacks that skip per-process
+        # re-validation — rejects it up front.
+        if self.stability_interval is not None and self.stability_interval <= 0:
+            raise ValueError(
+                f"stability_interval must be positive: {self.stability_interval!r}"
+            )
         # Raise early (with the list of registered names) on unknown backends.
         consensus_protocols.get(self.consensus)
         failure_detectors.get(self.fd)
@@ -100,20 +112,42 @@ class StackConfig:
 
 
 class GroupStack:
-    """A fully wired group of SVS processes over one simulator."""
+    """A fully wired group of SVS processes over one simulator.
+
+    ``context`` is an optional pre-validated
+    :class:`~repro.gcs.context.RunContext`: when given, the relation is
+    already resolved, the initial view is shared, and no configuration is
+    re-validated — the fast path sweep cells use to build one stack per
+    replicate seed (pass ``seed`` to override the context config's seed
+    without re-deriving anything else).
+    """
 
     def __init__(
         self,
-        relation: Union[ObsolescenceRelation, str],
+        relation: Union[ObsolescenceRelation, str, None] = None,
         config: Optional[StackConfig] = None,
+        context: Optional["RunContext"] = None,
+        seed: Optional[int] = None,
     ) -> None:
-        if isinstance(relation, str):
-            relation = relation_registry.create(relation)
-        self.config = config or StackConfig()
-        self.relation = relation
-        self.sim = Simulator(seed=self.config.seed)
+        if context is not None:
+            self.config = context.config
+            self.relation = context.relation
+            self.initial_view = context.initial_view
+            stack_seed = seed if seed is not None else self.config.seed
+        else:
+            if relation is None:
+                raise ValueError("GroupStack needs a relation (or a context)")
+            if isinstance(relation, str):
+                relation = relation_registry.create(relation)
+            self.config = config or StackConfig()
+            self.relation = relation
+            self.initial_view = View(0, frozenset(range(self.config.n)))
+            stack_seed = seed if seed is not None else self.config.seed
+        #: The seed this stack actually runs under (== ``config.seed``
+        #: unless overridden for a replicate).
+        self.seed = stack_seed
+        self.sim = Simulator(seed=stack_seed)
         self.network = Network(self.sim, self._build_latency_model())
-        self.initial_view = View(0, frozenset(range(self.config.n)))
         self.recorder = HistoryRecorder() if self.config.record_history else None
 
         # Consensus plugins may stash shared state here (the oracle hub does).
@@ -133,11 +167,12 @@ class GroupStack:
                 sim=self.sim,
                 network=self.network,
                 initial_view=self.initial_view,
-                relation=relation,
+                relation=self.relation,
                 consensus_factory=consensus_factory,
                 fd=fd_wiring.fd,
                 listeners=listeners,
                 stability_interval=self.config.stability_interval,
+                ctx=context,
             )
             self.processes[pid] = proc
 

@@ -49,6 +49,10 @@ class TimeWeightedStat:
     call :meth:`update` whenever the signal changes, then :meth:`finish`.
     """
 
+    __slots__ = (
+        "_last_time", "_value", "_weighted_sum", "_elapsed", "maximum", "minimum"
+    )
+
     def __init__(self, start_time: float = 0.0, initial: float = 0.0) -> None:
         self._last_time = start_time
         self._value = initial
@@ -93,6 +97,8 @@ class BusyTracker:
     ``1 -`` blocked fraction presented from the producer's perspective; see
     :mod:`repro.analysis.throughput` for the exact mapping.
     """
+
+    __slots__ = ("_start", "_busy_since", "total_busy", "intervals")
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._start = start_time

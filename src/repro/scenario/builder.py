@@ -34,6 +34,7 @@ anything runs; :meth:`LiveScenario.run` then produces the same
 
 from __future__ import annotations
 
+import json
 from dataclasses import asdict, dataclass
 from typing import (
     Any,
@@ -50,6 +51,7 @@ from repro.core.message import View
 from repro.core.obsolescence import ObsolescenceRelation
 from repro.core.spec import CHECKS, check_all
 from repro.core.svs import SVSListeners
+from repro.gcs.context import RunContext
 from repro.gcs.endpoint import GroupEndpoint, RateLimitedConsumer
 from repro.gcs.stack import GroupStack, StackConfig
 from repro.metrics.collectors import TimeWeightedStat
@@ -75,6 +77,24 @@ KNOWN_METRICS = (
 
 class ScenarioError(ValueError):
     """An inconsistent or invalid scenario specification."""
+
+
+# Named workloads are pure functions of (name, generation params); sweep
+# cells that share a workload spec would otherwise regenerate the same
+# trace once per (cell, replicate).  Traces are replayed read-only, so one
+# instance can serve every cell of a worker process — and sharing the
+# instance also lets downstream per-trace caches (annotation memoisation)
+# hit across cells.
+_workload_cache: Dict[str, Trace] = {}
+
+
+def _cached_workload(name: str, params: Dict[str, Any]) -> Trace:
+    key = json.dumps({"name": name, "params": params}, sort_keys=True, default=repr)
+    trace = _workload_cache.get(key)
+    if trace is None:
+        trace = workload_registry.create(name, **params)
+        _workload_cache[key] = trace
+    return trace
 
 
 @dataclass(frozen=True)
@@ -223,7 +243,7 @@ class Scenario:
             self._drivers.append(source)
             return self
         if isinstance(source, str):
-            source = workload_registry.create(source, **params)
+            source = _cached_workload(source, dict(params))
         elif params:
             raise ScenarioError(
                 "workload generation parameters only apply to named workloads"
@@ -452,7 +472,16 @@ class LiveScenario:
             )
         except TypeError as exc:
             raise ScenarioError(f"invalid group configuration: {exc}") from None
-        self.stack = GroupStack(relation, config)
+        if self._cacheable_relation is not None:
+            # Registry-named relation + declarative config: reuse the
+            # validated per-configuration RunContext (seeds vary per
+            # replicate; the context does not).
+            ctx = RunContext.cached(
+                self._cacheable_relation, config, spec._relation_params
+            )
+            self.stack = GroupStack(context=ctx, seed=spec._seed)
+        else:
+            self.stack = GroupStack(relation, config)
         self.sim = self.stack.sim
         self._validate_pids()
 
@@ -535,6 +564,7 @@ class LiveScenario:
         wire representation was requested (stashed in ``self._annotated``)."""
         spec = self.spec
         self._annotated = None
+        self._cacheable_relation: Optional[str] = None
         relation = spec._relation
         workload = spec._trace_workload
         if workload is not None and workload.representation is not None:
@@ -545,6 +575,7 @@ class LiveScenario:
             if not spec._relation_explicit:
                 relation = encoder_relation
         if isinstance(relation, str):
+            self._cacheable_relation = relation
             relation = relation_registry.create(relation, **spec._relation_params)
         return relation
 
@@ -711,9 +742,10 @@ class LiveScenario:
             else {}
         )
         config = asdict(self.stack.config)
+        config["seed"] = self.stack.seed  # context configs share a seed field
         config["relation"] = type(self.stack.relation).__name__
         return ScenarioResult(
-            seed=self.stack.config.seed,
+            seed=self.stack.seed,
             n=self.stack.config.n,
             duration=duration,
             config=config,

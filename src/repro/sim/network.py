@@ -37,10 +37,33 @@ __all__ = [
 
 
 class LatencyModel:
-    """Strategy producing a one-way latency for each message."""
+    """Strategy producing a one-way latency for each message.
+
+    Random models draw from a **per-edge** child generator (stream
+    ``"network.<src>.<dst>"`` of the simulator's seed), so the latency
+    sequence of one channel is deterministic per seed and independent of
+    how sends on *other* channels interleave with it — adding traffic on
+    one edge never perturbs the draws of another.
+
+    :meth:`sample_batch` returns ``n`` draws at once (in stream order);
+    the network requests draws in batches and hands them out one per send,
+    which amortises the per-draw dispatch overhead on the hot path.
+    """
 
     def sample(self, src: ProcessId, dst: ProcessId) -> float:
         raise NotImplementedError
+
+    def sample_batch(self, src: ProcessId, dst: ProcessId, n: int) -> List[float]:
+        """``n`` consecutive draws for the (src, dst) edge.
+
+        This is the path the network actually uses: draws are requested
+        in batches per edge and handed out one per send.  A model whose
+        ``sample`` consumes a *shared* stream therefore sees its draws
+        grouped by edge rather than interleaved in send order — override
+        this (or use per-edge streams, as the built-ins do) if the exact
+        draw interleaving matters to you.
+        """
+        return [self.sample(src, dst) for _ in range(n)]
 
 
 @dataclass(frozen=True)
@@ -52,27 +75,51 @@ class ConstantLatency(LatencyModel):
     def sample(self, src: ProcessId, dst: ProcessId) -> float:
         return self.latency
 
+    def sample_batch(self, src: ProcessId, dst: ProcessId, n: int) -> List[float]:
+        return [self.latency] * n
 
-class UniformLatency(LatencyModel):
+
+class _EdgeRandomLatency(LatencyModel):
+    """Shared plumbing for randomised models: one RNG stream per edge."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._edge_rngs: Dict[Tuple[ProcessId, ProcessId], Any] = {}
+
+    def _rng_for(self, src: ProcessId, dst: ProcessId):
+        key = (src, dst)
+        rng = self._edge_rngs.get(key)
+        if rng is None:
+            rng = self._sim.rng(f"network.{src}.{dst}")
+            self._edge_rngs[key] = rng
+        return rng
+
+
+class UniformLatency(_EdgeRandomLatency):
     """Latency drawn uniformly from ``[low, high]`` via the simulator RNG.
 
-    The generator is owned by the network (named ``"network"``), so latency
-    draws are deterministic per seed and independent of other random
-    consumers.
+    Draws come from per-edge child generators derived from the simulator
+    seed, so they are deterministic per seed and independent of other
+    random consumers (and of other edges).
     """
 
     def __init__(self, sim: Simulator, low: float, high: float) -> None:
         if low < 0 or high < low:
             raise ValueError(f"invalid latency range [{low}, {high}]")
-        self._rng = sim.rng("network")
+        super().__init__(sim)
         self.low = low
         self.high = high
 
     def sample(self, src: ProcessId, dst: ProcessId) -> float:
-        return self._rng.uniform(self.low, self.high)
+        return self._rng_for(src, dst).uniform(self.low, self.high)
+
+    def sample_batch(self, src: ProcessId, dst: ProcessId, n: int) -> List[float]:
+        uniform = self._rng_for(src, dst).uniform
+        low, high = self.low, self.high
+        return [uniform(low, high) for _ in range(n)]
 
 
-class LognormalLatency(LatencyModel):
+class LognormalLatency(_EdgeRandomLatency):
     """Heavy-tailed latency: log-normal with a given distribution mean.
 
     The paper assumes channels with "no bound on transmission time"
@@ -88,14 +135,19 @@ class LognormalLatency(LatencyModel):
             raise ValueError(f"mean latency must be positive: {mean}")
         if sigma <= 0:
             raise ValueError(f"sigma must be positive: {sigma}")
-        self._rng = sim.rng("network")
+        super().__init__(sim)
         self.mean = mean
         self.sigma = sigma
         # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) = mean.
         self._mu = math.log(mean) - sigma * sigma / 2.0
 
     def sample(self, src: ProcessId, dst: ProcessId) -> float:
-        return self._rng.lognormvariate(self._mu, self.sigma)
+        return self._rng_for(src, dst).lognormvariate(self._mu, self.sigma)
+
+    def sample_batch(self, src: ProcessId, dst: ProcessId, n: int) -> List[float]:
+        draw = self._rng_for(src, dst).lognormvariate
+        mu, sigma = self._mu, self.sigma
+        return [draw(mu, sigma) for _ in range(n)]
 
 
 @latency_models.register("constant")
@@ -137,6 +189,11 @@ class Network:
     scheduled delivery time per channel.
     """
 
+    #: Latency draws requested from the model per (src, dst) edge at a
+    #: time.  Purely a performance knob — draw order per edge is identical
+    #: for any batch size.
+    DRAW_BATCH = 64
+
     def __init__(
         self,
         sim: Simulator,
@@ -147,6 +204,16 @@ class Network:
         self._procs: Dict[ProcessId, SimProcess] = {}
         self._last_delivery: Dict[Tuple[ProcessId, ProcessId], float] = {}
         self._stats: Dict[Tuple[ProcessId, ProcessId], ChannelStats] = {}
+        # Constant models short-circuit sampling entirely; random models
+        # are drawn in per-edge batches (consumed in stream order).
+        # Exact-type check: a ConstantLatency *subclass* may override
+        # sample()/sample_batch() and must keep being consulted.
+        self._constant: Optional[float] = (
+            self.latency.latency
+            if type(self.latency) is ConstantLatency
+            else None
+        )
+        self._draws: Dict[Tuple[ProcessId, ProcessId], List[float]] = {}
         # Fault injection state (all empty/None by default = reliable net).
         self._cut: Set[Tuple[ProcessId, ProcessId]] = set()
         self._drop_filter: Optional[Callable[[ProcessId, ProcessId, Any], bool]] = None
@@ -182,11 +249,13 @@ class Network:
         existed just disappears, as on a real network).
         """
         channel = (src, dst)
-        stats = self._stats.setdefault(channel, ChannelStats())
+        stats = self._stats.get(channel)
+        if stats is None:
+            stats = self._stats[channel] = ChannelStats()
         stats.sent += 1
         self.messages_sent += 1
 
-        if channel in self._cut or (dst, src) == channel and channel in self._cut:
+        if self._cut and channel in self._cut:
             stats.dropped += 1
             self.messages_dropped += 1
             return
@@ -195,7 +264,15 @@ class Network:
             self.messages_dropped += 1
             return
 
-        delay = self.latency.sample(src, dst)
+        delay = self._constant
+        if delay is None:
+            # Batched per-edge draws, consumed in the model's stream order.
+            draws = self._draws.get(channel)
+            if not draws:
+                draws = self.latency.sample_batch(src, dst, self.DRAW_BATCH)
+                draws.reverse()
+                self._draws[channel] = draws
+            delay = draws.pop()
         if self._delay_filter is not None:
             delay += self._delay_filter(src, dst, payload)
 
@@ -209,7 +286,7 @@ class Network:
         proc = self._procs.get(dst)
         if proc is None:
             return
-        self._stats.setdefault((src, dst), ChannelStats()).delivered += 1
+        self._stats[(src, dst)].delivered += 1
         self.messages_delivered += 1
         proc._deliver(src, payload)
 

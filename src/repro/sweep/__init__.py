@@ -44,6 +44,16 @@ fuzzing harness::
 Determinism is scheduling-independent: seeds are derived by hashing cell
 identity, so ``workers=0`` and ``workers=8`` produce byte-identical
 aggregated JSON.
+
+When a cell dies inside a worker, the raised
+:class:`~repro.sweep.executor.SweepCellError` names the failing cell as a
+JSON dict plus its replicate and derived seed — copy the dict back into a
+single-cell sweep to reproduce.  A shared ``context`` object may expose a
+``prepare_worker()`` hook, invoked once per worker process (and once for
+serial runs), to warm per-process caches before the first cell runs.
+
+The architecture and the kernel hot path behind cell execution are
+documented in ``docs/architecture.md`` and ``docs/kernel.md``.
 """
 
 from repro.sweep.executor import (

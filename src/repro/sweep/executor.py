@@ -27,6 +27,7 @@ multiprocess paths share the same per-cell code, so ``workers=0`` and
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import traceback
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
@@ -44,7 +45,34 @@ __all__ = [
 
 
 class SweepCellError(RuntimeError):
-    """A cell runner raised; carries the cell coordinates and traceback."""
+    """A cell runner raised; carries the cell coordinates and traceback.
+
+    The message embeds the failing cell as a JSON dict (plus replicate and
+    seed) so a pooled run's failure is reproducible from the error text
+    alone — worker exceptions used to surface as a bare pool traceback
+    with no indication of *which* of thousands of cells died.  The
+    structured fields survive the pool's pickling round trip.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        params: Optional[Dict[str, Any]] = None,
+        replicate: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.params = params
+        self.replicate = replicate
+        self.seed = seed
+
+    def __reduce__(self):
+        # RuntimeError's default reduce drops keyword state; keep the cell
+        # coordinates intact across the multiprocessing boundary.
+        return (
+            self.__class__,
+            (self.args[0], self.params, self.replicate, self.seed),
+        )
 
 
 class SweepInvariantError(RuntimeError):
@@ -126,9 +154,18 @@ def _execute(
     except SweepCellError:
         raise
     except Exception as exc:
+        # Cell params came through the grid, so they are JSON-encodable by
+        # construction — embed them verbatim for copy-paste reproduction.
+        cell_json = json.dumps(params, sort_keys=True, default=repr)
         raise SweepCellError(
-            f"cell {params!r} (replicate {replicate}, seed {seed}) failed: "
-            f"{exc}\n{traceback.format_exc()}"
+            f"sweep cell failed: {type(exc).__name__}: {exc}\n"
+            f"  cell: {cell_json}\n"
+            f"  replicate: {replicate}\n"
+            f"  seed: {seed}\n"
+            f"{traceback.format_exc()}",
+            params=dict(params),
+            replicate=replicate,
+            seed=seed,
         ) from exc
     metrics, violations, full = _normalise(out, params, keep_results)
     run = CellRun(
@@ -141,10 +178,25 @@ def _execute(
     return index, cell_index, run
 
 
+def _prepare_context(context: Any) -> None:
+    """Run the shared context's per-worker hook, if it declares one.
+
+    A ``context`` with a callable ``prepare_worker`` attribute (e.g. an
+    object wrapping a :class:`~repro.gcs.context.RunContext`) is invoked
+    exactly once per worker process (and once for a serial run) — the
+    place to warm caches or pre-validate configuration so the per-cell
+    path never repeats that work.
+    """
+    hook = getattr(context, "prepare_worker", None)
+    if callable(hook):
+        hook()
+
+
 def _init_worker(runner: Callable[..., Any], context: Any, keep_results: bool) -> None:
     _worker_state["runner"] = runner
     _worker_state["context"] = context
     _worker_state["keep_results"] = keep_results
+    _prepare_context(context)
 
 
 def _run_task(task: _Task) -> Tuple[int, int, CellRun]:
@@ -209,6 +261,7 @@ def run_sweep(
             progress(done, len(tasks), run)
 
     if workers is None or workers <= 1:
+        _prepare_context(context)
         for task in tasks:
             index, cell_index, run = _execute(runner, context, task, keep_results)
             record(index, cell_index, run)

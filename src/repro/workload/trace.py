@@ -62,7 +62,7 @@ class MessageKind(enum.Enum):
         return self is MessageKind.UPDATE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceMessage:
     """One multicast in the recorded stream."""
 

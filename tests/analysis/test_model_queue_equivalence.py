@@ -1,0 +1,126 @@
+"""The throughput model's inlined queue operations must track DeliveryQueue.
+
+``SlowReceiverSimulation._inject``/``_complete_service`` inline the bodies
+of :meth:`DeliveryQueue.try_append` and :meth:`DeliveryQueue.pop` for
+speed (one method-call frame per event is measurable at figure scale).
+The queue methods remain the reference implementation — this suite pins
+the equivalence by running the same configurations through a reference
+subclass that calls the public queue methods instead, across every
+representation and the reliable baseline, and asserting identical
+results.  If DeliveryQueue's purge/tombstone semantics ever change
+without the model following, this fails.
+"""
+
+import pytest
+
+from repro.analysis.throughput import (
+    SlowReceiverSimulation,
+    ThroughputConfig,
+    annotated_messages,
+)
+from repro.core.obsolescence import EmptyRelation
+
+
+class _ReferenceModel(SlowReceiverSimulation):
+    """Same model, but driving the queue through its public methods."""
+
+    __slots__ = ()
+
+    def _inject(self) -> None:
+        if self._stopped:
+            return
+        msg = self.messages[self._cursor]
+        if self.queue.try_append(msg):
+            now = self.sim.now
+            self._occ_sum += self._occ_val * (now - self._occ_last)
+            self._occ_last = now
+            value = self._occ_val = len(self.queue)
+            if value > self._occ_max:
+                self._occ_max = value
+            cursor = self._cursor = self._cursor + 1
+            self.finish_time = now
+            if not self._consumer_busy and not self._consumer_paused and self.queue:
+                self._consumer_busy = True
+                self._schedule(self._service_time, self._complete_service)
+            if cursor < self._n_messages:
+                delay = self.messages[cursor].payload.time + self._offset - now
+                self._schedule(delay if delay > 0.0 else 0.0, self._inject)
+        else:
+            self._blocked_since = self.sim.now
+            self.blocked.enter(self.sim.now)
+            watch_from = self.config.stall_at or 0.0
+            if self.first_block_time is None and self.sim.now >= watch_from:
+                self.first_block_time = self.sim.now
+                if self.config.stop_on_first_block:
+                    self._stopped = True
+                    self.sim.stop()
+
+    def _complete_service(self) -> None:
+        if self._consumer_paused:
+            self._consumer_busy = False
+            return
+        queue = self.queue
+        if queue:
+            queue.pop()
+            self.delivered += 1
+            now = self.sim.now
+            self._occ_sum += self._occ_val * (now - self._occ_last)
+            self._occ_last = now
+            self._occ_val = len(queue)
+        self._consumer_busy = False
+        if self._blocked_since is not None:
+            self._unblock()
+        if not self._consumer_busy and not self._consumer_paused and queue:
+            self._consumer_busy = True
+            self._schedule(self._service_time, self._complete_service)
+
+
+def _result_key(result):
+    return (
+        result.duration,
+        result.blocked_fraction,
+        result.mean_occupancy,
+        result.max_occupancy,
+        result.offered,
+        result.delivered,
+        result.purged,
+        result.first_block_time,
+        result.completed,
+    )
+
+
+@pytest.mark.parametrize("representation", ["tagging", "k-enumeration", "enumeration"])
+@pytest.mark.parametrize("rate", [25.0, 60.0])
+def test_inlined_model_matches_reference_semantic(
+    tiny_game_trace, representation, rate
+):
+    config = ThroughputConfig(
+        buffer_size=8, consumer_rate=rate, semantic=True,
+        representation=representation,
+    )
+    messages, relation = annotated_messages(
+        tiny_game_trace, config.representation, config.effective_k()
+    )
+    fast = SlowReceiverSimulation(messages, relation, config).run()
+    reference = _ReferenceModel(messages, relation, config).run()
+    assert _result_key(fast) == _result_key(reference)
+
+
+def test_inlined_model_matches_reference_reliable(tiny_game_trace):
+    config = ThroughputConfig(buffer_size=8, consumer_rate=40.0, semantic=False)
+    messages, _ = annotated_messages(tiny_game_trace, "k-enumeration", 16)
+    relation = EmptyRelation()
+    fast = SlowReceiverSimulation(messages, relation, config).run()
+    reference = _ReferenceModel(messages, relation, config).run()
+    assert _result_key(fast) == _result_key(reference)
+
+
+def test_inlined_model_matches_reference_with_stall(tiny_game_trace):
+    config = ThroughputConfig(
+        buffer_size=6, consumer_rate=5000.0, semantic=True,
+        stall_at=4.0, stop_on_first_block=True,
+    )
+    messages, relation = annotated_messages(tiny_game_trace, "k-enumeration", 12)
+    fast = SlowReceiverSimulation(messages, relation, config).run()
+    reference = _ReferenceModel(messages, relation, config).run()
+    assert _result_key(fast) == _result_key(reference)

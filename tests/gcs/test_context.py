@@ -1,0 +1,148 @@
+"""RunContext: validate once, build many — without changing behaviour."""
+
+import pytest
+
+from repro.core.obsolescence import ItemTagging
+from repro.gcs.context import (
+    RunContext,
+    clear_context_cache,
+    context_cache_info,
+)
+from repro.gcs.stack import GroupStack, StackConfig
+from repro.scenario import Scenario, serialize_histories
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_context_cache()
+    yield
+    clear_context_cache()
+
+
+def run_broadcast(stack, n_messages=10):
+    for i in range(n_messages):
+        stack.sim.schedule_at(0.01 * i, stack[0].multicast, f"m{i}", i % 3)
+    stack.run(until=2.0)
+    stack.drain_all()
+    return serialize_histories(stack.recorder)
+
+
+class TestPrepare:
+    def test_resolves_named_relation_once(self):
+        ctx = RunContext.prepare("item-tagging", StackConfig(n=3, consensus="oracle"))
+        assert isinstance(ctx.relation, ItemTagging)
+        assert ctx.initial_view.members == frozenset({0, 1, 2})
+
+    def test_instance_relation_used_as_is(self):
+        relation = ItemTagging()
+        ctx = RunContext.prepare(relation, StackConfig(n=2, consensus="oracle"))
+        assert ctx.relation is relation
+
+    def test_unknown_backend_rejected_at_prepare(self):
+        from repro.registry import RegistryError
+
+        with pytest.raises(RegistryError):
+            RunContext.prepare("no-such-relation", StackConfig(consensus="oracle"))
+
+
+class TestStackConstruction:
+    def test_context_stack_matches_direct_stack(self):
+        """Bit-for-bit: a context-built stack runs the same execution as a
+        directly constructed one."""
+        config = StackConfig(n=3, seed=11, consensus="oracle")
+        direct = run_broadcast(GroupStack(ItemTagging(), config))
+        ctx = RunContext.prepare("item-tagging", config)
+        via_context = run_broadcast(ctx.stack())
+        assert direct == via_context
+
+    def test_seed_override_reseeds_without_revalidation(self):
+        ctx = RunContext.prepare(
+            "item-tagging", StackConfig(n=3, seed=0, consensus="oracle")
+        )
+        a = ctx.stack(seed=7)
+        b = ctx.stack(seed=8)
+        assert a.seed == 7 and b.seed == 8
+        assert a.sim.seed == 7 and b.sim.seed == 8
+        # The shared config object is untouched.
+        assert ctx.config.seed == 0
+
+    def test_stacks_do_not_share_mutable_state(self):
+        ctx = RunContext.prepare(
+            "item-tagging", StackConfig(n=2, seed=1, consensus="oracle")
+        )
+        a, b = ctx.stack(seed=1), ctx.stack(seed=1)
+        a[0].multicast("only-in-a", 1)
+        a.run(until=1.0)
+        assert a.network.messages_sent > 0
+        assert b.network.messages_sent == 0
+        assert b[1].pending == 1  # just the initial VIEW notification
+
+
+class TestCache:
+    def test_same_config_hits_cache(self):
+        config = StackConfig(n=3, consensus="oracle")
+        first = RunContext.cached("item-tagging", config)
+        second = RunContext.cached("item-tagging", StackConfig(n=3, consensus="oracle"))
+        assert first is second
+        info = context_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_seed_does_not_fragment_cache(self):
+        a = RunContext.cached("item-tagging", StackConfig(n=3, seed=1, consensus="oracle"))
+        b = RunContext.cached("item-tagging", StackConfig(n=3, seed=2, consensus="oracle"))
+        assert a is b
+
+    def test_different_relation_params_miss(self):
+        a = RunContext.cached("k-enumeration", StackConfig(consensus="oracle"), {"k": 8})
+        b = RunContext.cached("k-enumeration", StackConfig(consensus="oracle"), {"k": 16})
+        assert a is not b
+        assert a.relation.k == 8 and b.relation.k == 16
+
+
+class TestScenarioIntegration:
+    def test_scenario_replicates_share_context(self):
+        def run(seed):
+            return (
+                Scenario()
+                .group(n=3, relation="item-tagging", consensus="oracle", seed=seed)
+                .inject(0.0, "x", annotation=1)
+                .inject(0.1, "y", annotation=1)
+                .run(until=1.0)
+            )
+
+        first = run(5)
+        info_after_first = context_cache_info()
+        second = run(6)
+        info = context_cache_info()
+        assert info["misses"] == info_after_first["misses"] == 1
+        assert info["hits"] >= 1
+        # Different seeds still produce independent results with the
+        # right seeds recorded.
+        assert first.seed == 5 and second.seed == 6
+
+    def test_scenario_reports_replicate_seed_in_config(self):
+        result = (
+            Scenario()
+            .group(n=2, relation="item-tagging", consensus="oracle", seed=42)
+            .run(until=0.5)
+        )
+        assert result.seed == 42
+        assert result.config["seed"] == 42
+
+
+class TestValidationNotSkippedByContextPath:
+    def test_zero_stability_interval_rejected_via_scenario(self):
+        """Regression: the context fast path must not drop StackConfig
+        validation — stability_interval=0 used to hang the run (zero-delay
+        timer rescheduling forever)."""
+        import repro
+
+        with pytest.raises(ValueError, match="stability_interval"):
+            repro.Scenario().group(
+                n=3, relation="item-tagging", consensus="oracle",
+                stability_interval=0.0,
+            ).run(until=1.0)
+
+    def test_negative_stability_interval_rejected_directly(self):
+        with pytest.raises(ValueError, match="stability_interval"):
+            StackConfig(consensus="oracle", stability_interval=-1.0)

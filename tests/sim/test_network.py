@@ -180,3 +180,52 @@ class TestFaultInjection:
         net.send(0, 1, "x")
         sim.run()
         assert b.received != []
+
+
+class TestLatencyFastPathAndBatching:
+    def test_constant_subclass_overrides_are_honoured(self):
+        """The constant-latency fast path must only trigger for the exact
+        ConstantLatency type — subclasses may override sampling."""
+        from repro.sim.network import ConstantLatency, Network
+        from repro.sim.process import SimProcess
+
+        class Doubling(ConstantLatency):
+            def sample(self, src, dst):
+                return self.latency * 2
+
+            def sample_batch(self, src, dst, n):
+                return [self.latency * 2] * n
+
+        sim = Simulator(seed=1)
+        net = Network(sim, Doubling(0.1))
+        b = Sink(1, sim, net)
+        Sink(0, sim, net)
+        net.send(0, 1, "x")
+        sim.run()
+        assert b.received[0][2] == pytest.approx(0.2)
+
+    def test_batched_draws_preserve_per_edge_stream_order(self):
+        """Draws handed out by the network equal the model's own stream
+        order for that edge, for any batch size."""
+        from repro.sim.network import Network, UniformLatency
+        from repro.sim.process import SimProcess
+
+        def delivery_times(batch):
+            sim = Simulator(seed=3)
+            net = Network(sim, UniformLatency(sim, 0.0, 1.0))
+            net.DRAW_BATCH = batch
+            b = Sink(1, sim, net)
+            Sink(0, sim, net)
+            for i in range(10):
+                sim.schedule(5.0 * i, net.send, 0, 1, i)  # FIFO never binds
+            sim.run()
+            return [t for _, _, t in b.received]
+
+        assert delivery_times(1) == delivery_times(64)
+
+    def test_batch_matches_sequential_sampling(self):
+        from repro.sim.network import UniformLatency
+
+        a = UniformLatency(Simulator(seed=9), 0.0, 1.0)
+        b = UniformLatency(Simulator(seed=9), 0.0, 1.0)
+        assert a.sample_batch(0, 1, 20) == [b.sample(0, 1) for _ in range(20)]

@@ -60,7 +60,7 @@ class TestSerialExecution:
         assert calls == [(1, 4), (2, 4), (3, 4), (4, 4)]
 
     def test_cell_exception_wrapped_with_coordinates(self):
-        with pytest.raises(SweepCellError, match="x': 1.*boom"):
+        with pytest.raises(SweepCellError, match=r'\{"x": 1\}[\s\S]*boom'):
             Sweep().axis("x", [1]).run(crashing_cell)
 
     def test_non_mapping_return_rejected(self):
