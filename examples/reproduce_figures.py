@@ -46,6 +46,7 @@ def main():
     exp.figure_5a(trace, buffers=buffers, show=True, workers=workers)
     exp.figure_5b(trace, buffers=buffers, probes=probes, show=True, workers=workers)
     exp.view_change_latency_table(show=True, workers=workers)
+    exp.churn_table(show=True, workers=workers)
     exp.ablation_k(trace, show=True, workers=workers)
     exp.ablation_representation(trace, show=True, workers=workers)
     exp.ablation_players(show=True, workers=workers)

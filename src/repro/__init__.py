@@ -78,6 +78,17 @@ from repro.core import (
     check_svs,
     check_view_agreement,
 )
+from repro.faults import (
+    Crash,
+    FaultPlan,
+    FaultPlanError,
+    Heal,
+    LinkFault,
+    Partition,
+    Perturb,
+    Recover,
+    ViewChange,
+)
 from repro.gcs import (
     GroupEndpoint,
     GroupStack,
@@ -88,6 +99,7 @@ from repro.gcs import (
 from repro.registry import (
     consensus_protocols,
     failure_detectors,
+    fault_profiles,
     latency_models,
     relations,
     workloads,
@@ -148,6 +160,16 @@ __all__ = [
     "LiveScenario",
     "ScenarioError",
     "ScenarioResult",
+    # fault injection
+    "FaultPlan",
+    "FaultPlanError",
+    "Crash",
+    "Recover",
+    "Partition",
+    "Heal",
+    "LinkFault",
+    "Perturb",
+    "ViewChange",
     # sweeps
     "Sweep",
     "ScenarioSweep",
@@ -161,6 +183,7 @@ __all__ = [
     "consensus_protocols",
     "failure_detectors",
     "workloads",
+    "fault_profiles",
     # substrate
     "Simulator",
     "Network",

@@ -59,6 +59,7 @@ __all__ = [
     "figure_5a",
     "figure_5b",
     "view_change_latency_table",
+    "churn_table",
     "ablation_k",
     "ablation_representation",
     "ablation_players",
@@ -413,6 +414,160 @@ def view_change_latency_table(
         _print_rows(
             f"View change under load (slow consumer at {slow_rate} msg/s)",
             ("protocol", "backlog (msg)", "purged", "app latency (s)"),
+            rows,
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Churn (ours): throughput and view-change latency under partition-heal
+# churn — the fault regime repro.faults opens up
+# ----------------------------------------------------------------------
+
+#: Fixed shape of the churn cells (kept module-level so the golden
+#: fixture pins one unambiguous configuration).
+CHURN_DEFAULTS = {
+    "n": 5,
+    "side": (4,),
+    "at": 1.0,
+    "cycles": 3,
+    "closed_fraction": 0.5,
+    "rounds": 360,
+    "consumer_rate": 150.0,
+    "until": 10.0,
+    "viewchange_retry": 0.1,
+}
+
+
+def _churn_cell(
+    params: Mapping[str, Any], seed: int, context: Any = None
+) -> Dict[str, float]:
+    """One full-stack churn run: partition-heal cycles with the view
+    change triggered *during* each partition, so its latency measures how
+    long the cut stalls the reconfiguration plus the flush repair after
+    the heal.  Invariant-checked with the lossy-regime subset (loss and
+    partitions legitimately break per-sender total order; see
+    :data:`repro.core.spec.LOSSY_CHECKS`)."""
+    from repro.core.spec import LOSSY_CHECKS
+    from repro.faults import churn_trigger_times
+    from repro.scenario import Scenario
+
+    d = CHURN_DEFAULTS
+    semantic = bool(params["semantic"])
+    result = (
+        Scenario()
+        .group(
+            n=d["n"],
+            relation="item-tagging" if semantic else "empty",
+            consensus="oracle",
+            seed=seed,
+            viewchange_retry=d["viewchange_retry"],
+        )
+        .workload("game", rounds=d["rounds"])
+        .consumers(rate=d["consumer_rate"])
+        .faults(
+            "partition-churn",
+            side=list(d["side"]),
+            at=d["at"],
+            period=float(params["period"]),
+            cycles=d["cycles"],
+            closed_fraction=d["closed_fraction"],
+            loss=float(params["loss"]),
+            trigger_during_partition=True,
+        )
+        .check(checks=LOSSY_CHECKS)
+        .collect("throughput", "view_changes", "network", "purges")
+        .run(until=d["until"])
+    )
+    if not result.ok:
+        raise AssertionError(
+            f"churn cell violated the executable spec: {result.violations}"
+        )
+    triggers = churn_trigger_times(
+        d["at"],
+        float(params["period"]),
+        d["cycles"],
+        d["closed_fraction"],
+        trigger_during_partition=True,
+    )
+    installs = result.metrics["view_changes"]["installs"]
+    latencies = []
+    for k, trigger in enumerate(triggers):
+        vid = k + 1
+        times = [
+            time
+            for per_pid in installs.values()
+            for v, time in per_pid
+            if v == vid
+        ]
+        if times:
+            latencies.append(max(times) - trigger)
+    delivered = result.metrics["throughput"]["delivered"]
+    return {
+        "delivered_total": float(sum(delivered.values())),
+        "delivered_min": float(min(delivered.values())),
+        "view_changes": float(len(latencies)),
+        "vc_latency_mean_ms": (
+            1000.0 * sum(latencies) / len(latencies) if latencies else float("nan")
+        ),
+        "purged": float(result.metrics["purges"]["total"]),
+        "net_dropped": float(result.metrics["network"]["dropped"]),
+    }
+
+
+def churn_table(
+    periods: Sequence[float] = (1.0, 2.0),
+    losses: Sequence[float] = (0.0, 0.05),
+    show: bool = False,
+    workers: Optional[int] = None,
+) -> List[Tuple[float, float, int, int, float, float, int]]:
+    """SVS under partition-heal churn: reliable vs semantic, per cell.
+
+    For each (churn period, data loss) the partitioned member is cut off
+    for half the period, three times, with the view change triggered
+    mid-partition; columns report delivered messages at the slowest member
+    and the mean trigger-to-full-installation latency for both protocols,
+    plus the semantic run's purge count.  The latency scales with the
+    partition length (the change cannot complete before the heal), and the
+    semantic relation keeps the slow member's delivery count lower-but-
+    fresher exactly as in the paper's perturbation experiments.
+    """
+    sweep = (
+        Sweep()
+        .axis("period", list(periods))
+        .axis("loss", list(losses))
+        .axis("semantic", [False, True])
+        .run(_churn_cell, workers=workers)
+    )
+    rows = []
+    for period in periods:
+        for loss in losses:
+            reliable = sweep.select(period=period, loss=loss, semantic=False)
+            semantic = sweep.select(period=period, loss=loss, semantic=True)
+            rows.append(
+                (
+                    period,
+                    loss,
+                    int(reliable.value("delivered_min")),
+                    int(semantic.value("delivered_min")),
+                    round(reliable.value("vc_latency_mean_ms"), 1),
+                    round(semantic.value("vc_latency_mean_ms"), 1),
+                    int(semantic.value("purged")),
+                )
+            )
+    if show:
+        _print_rows(
+            "Churn — partition-heal cycles, view change triggered "
+            "mid-partition (3 cycles, half-period cuts)",
+            (
+                "period (s)",
+                "loss",
+                "rel dlvd/min",
+                "sem dlvd/min",
+                "rel vc (ms)",
+                "sem vc (ms)",
+                "sem purged",
+            ),
             rows,
         )
     return rows

@@ -10,6 +10,12 @@ The protocol of Figure 1 manipulates four kinds of messages:
 * ``[PRED, v, P]`` — the per-process set of messages accepted for delivery
   in the closing view (:class:`PredMessage`).
 
+One extension beyond Figure 1 supports process *rejoin* (the churn
+scenarios of :mod:`repro.faults`): ``[WELCOME, v]``
+(:class:`WelcomeMessage`) transfers the newly installed view to a member
+that was added through the ``join`` parameter of a view change and
+therefore did not participate in closing the previous view.
+
 Messages are uniquely identified by ``(sender, sn)`` where ``sn`` is the
 per-sender sequence number assigned at multicast time — this is the
 identifier space every obsolescence representation builds on
@@ -28,6 +34,7 @@ __all__ = [
     "ViewDelivery",
     "InitMessage",
     "PredMessage",
+    "WelcomeMessage",
     "Envelope",
 ]
 
@@ -133,14 +140,32 @@ class InitMessage:
     """``[INIT, v, l]``: start a view change for view ``view_id``.
 
     ``leave`` is the set of processes that asked to leave (the ``l``
-    parameter of the trigger in Figure 1 t4).
+    parameter of the trigger in Figure 1 t4).  ``join`` is the rejoin
+    extension: processes to *add* to the next view; they take no part in
+    closing the current one and learn the outcome through a
+    :class:`WelcomeMessage`.
     """
 
     view_id: int
     leave: FrozenSet[int] = frozenset()
+    join: FrozenSet[int] = frozenset()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "leave", frozenset(self.leave))
+        object.__setattr__(self, "join", frozenset(self.join))
+
+
+@dataclass(frozen=True, slots=True)
+class WelcomeMessage:
+    """``[WELCOME, v]``: state transfer to a member joining at view ``view``.
+
+    Sent by every surviving member right after installing a view that
+    contains joiners; the joiner installs the view carried by the first
+    WELCOME it receives and ignores the rest (so the transfer survives
+    lossy links as long as one copy arrives).
+    """
+
+    view: View
 
 
 @dataclass(frozen=True, slots=True)

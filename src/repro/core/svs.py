@@ -69,9 +69,11 @@ from repro.core.message import (
     PredMessage,
     View,
     ViewDelivery,
+    WelcomeMessage,
 )
 from repro.core.obsolescence import ObsolescenceRelation
 from repro.fd.detector import FD_STREAM, FailureDetector
+from repro.sim.failure import check_positive
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network
 from repro.sim.process import ProcessId, SimProcess
@@ -133,6 +135,15 @@ class SVSProcess(SimProcess):
         ``stability_interval`` seconds, pruning of group-stable messages
         from the delivered map and from the t5 local predicate.  ``None``
         (default) reproduces the paper's Figure 1 exactly.
+    viewchange_retry:
+        When set, a blocked process re-sends its INIT and PRED for the
+        closing view every ``viewchange_retry`` seconds until the change
+        completes.  ``None`` (default) reproduces Figure 1 exactly — the
+        paper assumes reliable channels, where one transmission suffices.
+        Enable it when running over the lossy links of
+        :mod:`repro.faults`, where a dropped PRED would otherwise stall
+        the view change forever.  Receivers treat retransmissions
+        idempotently, so this never changes outcomes on reliable links.
     ctx:
         Optional pre-validated :class:`~repro.gcs.context.RunContext`.
         When a stack builds its members from a context, per-process
@@ -152,6 +163,7 @@ class SVSProcess(SimProcess):
         fd: Union[FailureDetector, Callable[[SimProcess], FailureDetector]],
         listeners: Optional[SVSListeners] = None,
         stability_interval: Optional[float] = None,
+        viewchange_retry: Optional[float] = None,
         ctx: Optional["RunContext"] = None,
     ) -> None:
         super().__init__(pid, sim, network)
@@ -166,6 +178,9 @@ class SVSProcess(SimProcess):
         self.cv: View = initial_view
         self.blocked = False
         self.excluded = False
+        # True between recover() and the WELCOME that installs the joined
+        # view; while joining, every stream except WELCOME is ignored.
+        self.joining = False
         self.to_deliver = DeliveryQueue(relation)
         # Data messages already delivered, keyed by the view they belong to.
         self._delivered: Dict[int, Dict[MessageId, DataMessage]] = {}
@@ -176,9 +191,20 @@ class SVSProcess(SimProcess):
         self._global_pred: Dict[int, Dict[MessageId, DataMessage]] = {}
         self._pred_received: Dict[int, Set[ProcessId]] = {}
         self._leave: Dict[int, FrozenSet[ProcessId]] = {}
+        self._join: Dict[int, FrozenSet[ProcessId]] = {}
         self._proposed: Set[int] = set()
         self._consensus: Dict[int, ConsensusInstance] = {}
         self._pending_consensus: Dict[int, List[Tuple[ProcessId, Any]]] = {}
+
+        # Optional INIT/PRED retransmission for lossy links (see class
+        # doc).  Checked unconditionally — unlike the heavier shared-config
+        # validation a RunContext amortises, this is one comparison, and a
+        # NaN slipping through would poison set_timer.
+        if viewchange_retry is not None:
+            check_positive(viewchange_retry, "viewchange_retry")
+        self.viewchange_retry = viewchange_retry
+        self._active_init: Optional[InitMessage] = None
+        self._active_pred: Optional[PredMessage] = None
 
         # Whether the relation can relate messages of different senders —
         # decides whether t3 needs the full coverage scan (same-sender
@@ -251,6 +277,8 @@ class SVSProcess(SimProcess):
         """
         if self.crashed or self.blocked or self.excluded or self.pid not in self.cv:
             return None
+        if self.joining:
+            return None
         mid = MessageId(self.pid, self._next_sn)
         self._next_sn += 1
         msg = DataMessage(
@@ -271,15 +299,21 @@ class SVSProcess(SimProcess):
     # t4 — view change trigger
     # ------------------------------------------------------------------
 
-    def trigger_view_change(self, leave: Iterable[ProcessId] = ()) -> None:
-        """Initiate a view change (t4), optionally removing ``leave``.
+    def trigger_view_change(
+        self,
+        leave: Iterable[ProcessId] = (),
+        join: Iterable[ProcessId] = (),
+    ) -> None:
+        """Initiate a view change (t4), optionally removing ``leave`` and
+        adding ``join`` (the rejoin extension — joiners must be recovered
+        processes awaiting a WELCOME, see :meth:`recover`).
 
         Possible external causes per Section 3.2: failure suspicions,
         buffer shortage, voluntary leaves.  Idempotent while blocked.
         """
-        if self.crashed or self.excluded or self.pid not in self.cv:
+        if self.crashed or self.excluded or self.joining or self.pid not in self.cv:
             return
-        init = InitMessage(self.cv.vid, frozenset(leave))
+        init = InitMessage(self.cv.vid, frozenset(leave), frozenset(join))
         for member in self.cv.members:
             if member == self.pid:
                 self.sim.schedule(0.0, self._handle_init, self.pid, init)
@@ -293,6 +327,14 @@ class SVSProcess(SimProcess):
     def on_message(self, sender: ProcessId, payload: Any) -> None:
         if not isinstance(payload, Envelope):
             raise TypeError(f"unexpected raw payload: {payload!r}")
+        if self.joining:
+            # A joiner takes no part in any protocol until it learns the
+            # view it was added in; only the WELCOME transfer gets through.
+            if payload.stream == SVS_STREAM and isinstance(
+                payload.body, WelcomeMessage
+            ):
+                self._handle_welcome(sender, payload.body)
+            return
         if payload.stream == SVS_STREAM:
             body = payload.body
             if isinstance(body, DataMessage):
@@ -301,6 +343,10 @@ class SVSProcess(SimProcess):
                 self._handle_init(sender, body)
             elif isinstance(body, PredMessage):
                 self._handle_pred(sender, body)
+            elif isinstance(body, WelcomeMessage):
+                # Duplicate or late transfer (lossy links may duplicate
+                # them; every member sends one): already installed, drop.
+                pass
             elif self._stability is not None and _is_stable_message(body):
                 self._handle_stable(sender, body)
             else:
@@ -376,6 +422,10 @@ class SVSProcess(SimProcess):
         self.blocked = True
         vid = self.cv.vid
         self._leave[vid] = frozenset(init.leave) & self.cv.members
+        # Not restricted to non-members: a crashed process is still in cv
+        # until a change removes it, and rejoining it in the *same* view
+        # relies on the join set carrying it through t7.
+        self._join[vid] = frozenset(init.join)
         local_pred = self._local_pred(vid)
         if self.listeners.on_pred is not None:
             self.listeners.on_pred(self.pid, len(local_pred))
@@ -386,6 +436,33 @@ class SVSProcess(SimProcess):
                 self.sim.schedule(0.0, self._handle_pred, self.pid, pred)
             else:
                 self.send(member, envelope)
+        if self.viewchange_retry is not None:
+            self._active_init = init
+            self._active_pred = pred
+            self.set_timer(
+                "vc-retry", self.viewchange_retry, self._vc_retry
+            )
+
+    def _vc_retry(self) -> None:
+        """Re-send INIT and PRED for the still-open view change.
+
+        Only armed when ``viewchange_retry`` is set; receivers handle both
+        idempotently (blocked members ignore the INIT, PRED accumulation
+        deduplicates by sender), so retransmission is outcome-neutral on
+        reliable links and restores liveness on lossy ones.
+        """
+        if self.crashed or self.excluded or not self.blocked:
+            return
+        init, pred = self._active_init, self._active_pred
+        if init is None or pred is None or init.view_id != self.cv.vid:
+            return
+        init_env = Envelope(stream=SVS_STREAM, body=init)
+        pred_env = Envelope(stream=SVS_STREAM, body=pred)
+        for member in self.cv.members:
+            if member != self.pid:
+                self.send(member, init_env)
+                self.send(member, pred_env)
+        self.set_timer("vc-retry", self.viewchange_retry, self._vc_retry)
 
     def _local_pred(self, vid: int) -> List[DataMessage]:
         """All data of view ``vid`` this process accepted for delivery.
@@ -431,7 +508,9 @@ class SVSProcess(SimProcess):
         ):
             return
         self._proposed.add(vid)
-        next_members = frozenset(received) - self._leave.get(vid, frozenset())
+        next_members = (
+            frozenset(received) | self._join.get(vid, frozenset())
+        ) - self._leave.get(vid, frozenset())
         proposal_view = View(vid + 1, next_members)
         flush = tuple(
             sorted(
@@ -502,13 +581,37 @@ class SVSProcess(SimProcess):
 
         old_vid = self.cv.vid
         departed = self.cv.members - next_view.members
+        # Joiners = processes the INIT asked to add that made it into the
+        # decided view without having closed the old one (no PRED from
+        # them).  Computed from the join set — not a membership diff — so
+        # a crashed member rejoining within its own view is welcomed too,
+        # and runs without joins send nothing extra.
+        join_set = self._join.get(old_vid, frozenset())
+        joined = (
+            (next_view.members & join_set)
+            - self._pred_received.get(old_vid, frozenset())
+            - {self.pid}
+            if join_set
+            else frozenset()
+        )
         self.cv = next_view
         self.blocked = False
+        if self.viewchange_retry is not None:
+            self.cancel_timer("vc-retry")
+            self._active_init = None
+            self._active_pred = None
+        # Joiners did not close the old view; transfer them the outcome.
+        # Every surviving member sends one WELCOME so the transfer goes
+        # through as long as any single copy arrives; the joiner installs
+        # the first and drops the rest.
+        for pid in sorted(joined):
+            self.send(pid, Envelope(stream=SVS_STREAM, body=WelcomeMessage(next_view)))
         # State of closed views can never be consulted again.
         self._delivered.pop(old_vid, None)
         self._global_pred.pop(old_vid, None)
         self._pred_received.pop(old_vid, None)
         self._leave.pop(old_vid, None)
+        self._join.pop(old_vid, None)
         if self._stability is not None:
             # Departed senders may leave permanent gaps (messages nobody
             # received); the boundary discharges their obligations.
@@ -520,6 +623,84 @@ class SVSProcess(SimProcess):
         # Consensus traffic for the view we just installed may have been
         # buffered by _route_consensus; it is drained when the instance is
         # created (first message for the new view, or our own t7).
+
+    # ------------------------------------------------------------------
+    # Rejoin (the recover/welcome extension; see repro.faults)
+    # ------------------------------------------------------------------
+
+    def recover(self) -> None:
+        """Revive a crashed (or excluded) process as a fresh joiner.
+
+        The process comes back with empty protocol state — crash-stop means
+        volatile state is lost — except for its sequence-number counter,
+        which is treated as stable storage so message identities stay
+        globally unique across incarnations.  It then waits, deaf to every
+        stream but WELCOME, until some view change adds it back (see
+        :meth:`trigger_view_change`'s ``join`` parameter); orchestration
+        lives in :meth:`repro.gcs.stack.GroupStack.rejoin`.
+        """
+        if not (self.crashed or self.excluded):
+            raise ValueError(
+                f"process {self.pid} is neither crashed nor excluded; "
+                f"nothing to recover from"
+            )
+        self.crashed = False
+        self.crash_time = None
+        self.excluded = False
+        self.blocked = True
+        self.joining = True
+        self.to_deliver = DeliveryQueue(self.relation)
+        self._delivered = {}
+        self._global_pred = {}
+        self._pred_received = {}
+        self._leave = {}
+        self._join = {}
+        self._proposed = set()
+        self._consensus = {}
+        self._pending_consensus = {}
+        self._active_init = None
+        self._active_pred = None
+        if self._stability is not None:
+            from repro.gcs.stability import StabilityState, WatermarkTracker
+
+            self._stability = StabilityState(self.pid, WatermarkTracker())
+            self.set_timer(
+                "stability", self.stability_interval, self._broadcast_stability
+            )
+        # The failure detector is NOT resumed here: while joining, the
+        # process must keep looking unresponsive (heartbeat silence, oracle
+        # suspicion) so the join view change's t7 does not wait for a PRED
+        # it will never send.  _handle_welcome resumes it.
+
+    def send_welcome(self, pid: ProcessId) -> None:
+        """Re-send the current view to a joiner that is already a member.
+
+        Used by the stack's rejoin watchdog when every WELCOME of the
+        installing view change was lost: the joiner is in ``cv`` but still
+        waiting, and retriggering another view change would deadlock (t7
+        waits for the joiner's PRED, which a joining process never sends).
+        """
+        if self.crashed or self.excluded or self.joining:
+            return
+        if pid in self.cv.members and pid != self.pid:
+            self.send(pid, Envelope(stream=SVS_STREAM, body=WelcomeMessage(self.cv)))
+
+    def _handle_welcome(self, sender: ProcessId, welcome: WelcomeMessage) -> None:
+        if not self.joining or self.crashed:
+            return
+        if self.pid not in welcome.view or welcome.view.vid <= self.cv.vid:
+            return
+        self.joining = False
+        self.blocked = False
+        self.cv = welcome.view
+        self.to_deliver.append(ViewDelivery(welcome.view))
+        # Back among the living: resume heartbeating (per-process
+        # detectors only; the shared oracle reads ground truth itself).
+        resume = getattr(self.fd, "resume", None)
+        if resume is not None:
+            resume()
+        if self.listeners.on_install is not None:
+            self.listeners.on_install(self.pid, welcome.view)
 
     # ------------------------------------------------------------------
     # Stability tracking (optional; see repro.gcs.stability)
@@ -590,6 +771,8 @@ class SVSProcess(SimProcess):
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "blocked" if self.blocked else "open"
+        if self.joining:
+            state = "joining"
         if self.excluded:
             state = "excluded"
         if self.crashed:

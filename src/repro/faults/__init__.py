@@ -1,0 +1,60 @@
+"""Declarative fault injection: partitions, lossy links, crash-recover churn.
+
+The paper's argument is about how Semantic View Synchrony behaves when the
+environment misbehaves; this package makes that misbehaviour a first-class,
+declarative, *sweepable* input.  A :class:`FaultPlan` holds typed events —
+
+===============  ========================================================
+:class:`Crash`        crash-stop a process (Section 3.1)
+:class:`Recover`      revive it and rejoin through the GCS stack
+:class:`Partition`    symmetric link cuts between pid groups
+:class:`Heal`         undo partitions
+:class:`LinkFault`    per-edge probabilistic loss / duplication / reorder
+:class:`Perturb`      the paper's transient consumer stall (Section 2)
+:class:`ViewChange`   an explicit reconfiguration trigger
+===============  ========================================================
+
+— validated up front (:class:`FaultPlanError` on bad times, rates or
+pids), installable once per plan, and serializable to plain dicts so whole
+fault schedules ride through sweep cells and axes.  Named parameterised
+profiles live in :data:`repro.registry.fault_profiles`
+(``"partition-heal"``, ``"lossy-links"``, ``"crash-rejoin"``,
+``"partition-churn"``; importing this package registers them).
+
+Entry points: ``Scenario().faults(...)`` declaratively,
+:meth:`FaultPlan.install` imperatively, ``docs/faults.md`` for the event
+taxonomy and the determinism contract.
+"""
+
+from repro.faults.plan import (
+    Crash,
+    FaultEvent,
+    FaultPlan,
+    FaultPlanError,
+    Heal,
+    LinkFault,
+    Partition,
+    Perturb,
+    Recover,
+    ViewChange,
+    data_messages_only,
+)
+from repro.faults import profiles as _profiles  # noqa: F401 (registry side-effects)
+from repro.faults.profiles import churn_trigger_times
+from repro.registry import fault_profiles
+
+__all__ = [
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultEvent",
+    "Crash",
+    "Recover",
+    "Partition",
+    "Heal",
+    "LinkFault",
+    "Perturb",
+    "ViewChange",
+    "data_messages_only",
+    "fault_profiles",
+    "churn_trigger_times",
+]

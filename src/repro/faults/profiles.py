@@ -1,0 +1,190 @@
+"""Built-in named fault profiles.
+
+A *profile* is a parameterised factory producing a
+:class:`~repro.faults.FaultPlan`, registered in
+:data:`repro.registry.fault_profiles`.  Profiles make whole fault
+schedules addressable by name — from the Scenario builder
+(``.faults("partition-heal", at=2.0, side=[4])``), from sweep cells
+(``{"faults": {"profile": "lossy-links", "params": {"loss": 0.05}}}``)
+and therefore as sweep axes (``.axis("faults.params.loss", [...])``).
+
+Third-party profiles register with the usual decorator::
+
+    from repro.registry import fault_profiles
+    from repro.faults import FaultPlan, Crash, Recover
+
+    @fault_profiles.register("flapping")
+    def _flapping(pid=0, period=1.0, cycles=3):
+        events = []
+        for k in range(cycles):
+            events.append(Crash(at=k * period, pid=pid))
+            events.append(Recover(at=k * period + period / 2, pid=pid))
+        return FaultPlan(events)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.faults.plan import (
+    Crash,
+    FaultPlan,
+    FaultPlanError,
+    Heal,
+    LinkFault,
+    Partition,
+    Recover,
+    ViewChange,
+)
+from repro.registry import fault_profiles
+
+__all__: list = []
+
+
+@fault_profiles.register("partition-heal")
+def _partition_heal(
+    at: float = 1.0,
+    duration: float = 1.0,
+    side: Sequence[int] = (0,),
+    reconfigure_after: Optional[float] = 0.05,
+    trigger_pid: int = 0,
+) -> FaultPlan:
+    """One symmetric partition episode: cut at ``at``, heal ``duration``
+    later, optionally trigger a view change ``reconfigure_after`` seconds
+    after the heal (the survivors' reaction that flushes losses)."""
+    if duration <= 0:
+        raise FaultPlanError(f"partition duration must be positive: {duration!r}")
+    events = [
+        Partition(at=at, sides=(tuple(side),)),
+        # Heal exactly the sides this profile cut (resolved against the
+        # group at fire time, like the Partition), so stacked profiles and
+        # manual cuts are left alone.
+        Heal(at=at + duration, sides=(tuple(side),)),
+    ]
+    if reconfigure_after is not None:
+        if reconfigure_after < 0:
+            raise FaultPlanError(
+                f"reconfigure_after must be non-negative: {reconfigure_after!r}"
+            )
+        events.append(ViewChange(at=at + duration + reconfigure_after, pid=trigger_pid))
+    return FaultPlan(events)
+
+
+@fault_profiles.register("lossy-links")
+def _lossy_links(
+    loss: float = 0.05,
+    duplicate: float = 0.0,
+    reorder: float = 0.0,
+    at: float = 0.0,
+    until: Optional[float] = None,
+    data_only: bool = True,
+) -> FaultPlan:
+    """Network-wide probabilistic faults from ``at`` (to ``until``, when
+    given).  ``data_only=True`` (default) keeps the control plane reliable;
+    set it to False — and a ``viewchange_retry`` on the stack — to degrade
+    everything."""
+    events = [
+        LinkFault(
+            at=at, loss=loss, duplicate=duplicate, reorder=reorder,
+            data_only=data_only,
+        )
+    ]
+    if until is not None:
+        if until <= at:
+            raise FaultPlanError(
+                f"lossy window must end after it starts: at={at!r} until={until!r}"
+            )
+        events.append(LinkFault(at=until, data_only=data_only))
+    return FaultPlan(events)
+
+
+@fault_profiles.register("crash-rejoin")
+def _crash_rejoin(
+    pid: int = 0,
+    crash_at: float = 1.0,
+    rejoin_at: float = 2.0,
+    retry: Optional[float] = 0.5,
+    via: Optional[int] = None,
+) -> FaultPlan:
+    """Crash ``pid`` and bring it back as a fresh incarnation later."""
+    if rejoin_at <= crash_at:
+        raise FaultPlanError(
+            f"rejoin must follow the crash: crash_at={crash_at!r} "
+            f"rejoin_at={rejoin_at!r}"
+        )
+    return FaultPlan(
+        [
+            Crash(at=crash_at, pid=pid),
+            Recover(at=rejoin_at, pid=pid, via=via, retry=retry),
+        ]
+    )
+
+
+@fault_profiles.register("partition-churn")
+def _partition_churn(
+    side: Sequence[int] = (0,),
+    at: float = 1.0,
+    period: float = 2.0,
+    cycles: int = 3,
+    closed_fraction: float = 0.5,
+    loss: float = 0.0,
+    reconfigure_after: float = 0.05,
+    trigger_pid: int = 0,
+    trigger_during_partition: bool = False,
+) -> FaultPlan:
+    """Repeated partition-heal churn, the regime of the churn experiment.
+
+    Every ``period`` seconds (``cycles`` times, starting at ``at``) the
+    ``side`` processes are cut off for ``closed_fraction`` of the period,
+    then healed, then ``trigger_pid`` reconfigures — so each cycle costs
+    one view change whose flush repairs the partition's losses.  ``loss``
+    optionally adds network-wide data-plane loss for the whole run.
+
+    With ``trigger_during_partition=True`` the view change is triggered
+    ``reconfigure_after`` seconds *into* each partition instead: the
+    change then stalls (the cut side's PREDs cannot arrive and nobody
+    suspects live processes) until the heal lets retransmission complete
+    it — which requires a ``viewchange_retry`` on the stack, since the
+    original INIT flood died against the cut.
+    """
+    if period <= 0:
+        raise FaultPlanError(f"churn period must be positive: {period!r}")
+    if cycles < 1:
+        raise FaultPlanError(f"churn needs at least one cycle: {cycles!r}")
+    if not 0.0 < closed_fraction < 1.0:
+        raise FaultPlanError(
+            f"closed_fraction must be in (0, 1): {closed_fraction!r}"
+        )
+    events = []
+    if loss:
+        events.append(LinkFault(at=0.0, loss=loss, data_only=True))
+    triggers = churn_trigger_times(
+        at, period, cycles, closed_fraction, reconfigure_after,
+        trigger_during_partition,
+    )
+    for k in range(cycles):
+        start = at + k * period
+        heal_at = start + period * closed_fraction
+        events.append(Partition(at=start, sides=(tuple(side),)))
+        # Named heal: only this profile's cut, not every cut on the net.
+        events.append(Heal(at=heal_at, sides=(tuple(side),)))
+        events.append(ViewChange(at=triggers[k], pid=trigger_pid))
+    return FaultPlan(events)
+
+
+def churn_trigger_times(
+    at: float = 1.0,
+    period: float = 2.0,
+    cycles: int = 3,
+    closed_fraction: float = 0.5,
+    reconfigure_after: float = 0.05,
+    trigger_during_partition: bool = False,
+) -> list:
+    """The view-change trigger instants of ``partition-churn`` — used by
+    the churn experiment to turn install timestamps into latencies."""
+    offset = (
+        reconfigure_after
+        if trigger_during_partition
+        else period * closed_fraction + reconfigure_after
+    )
+    return [at + k * period + offset for k in range(cycles)]

@@ -193,6 +193,25 @@ class HeartbeatFailureDetector(_ListenerMixin, FailureDetector):
             )
             self._set_suspected(sender, False)
 
+    # ------------------------------------------------------------------
+    # Recovery (the rejoin extension, see repro.faults)
+    # ------------------------------------------------------------------
+
+    def resume(self) -> None:
+        """Re-arm emission and checking after the owner recovered.
+
+        A crash cancels the owner's timers, killing both loops.  The grace
+        reset of ``last_heard`` keeps the recovered process from instantly
+        suspecting every peer it has not heard from while it was down.
+        """
+        if not self._started or self.owner.crashed:
+            return
+        now = self.owner.sim.now
+        for peer in self._peers:
+            self._last_heard[peer] = now
+        self._emit()
+        self._check()
+
 
 class OracleFailureDetector(_ListenerMixin, FailureDetector):
     """Ground-truth detector: suspects exactly ``detection_delay`` after a crash.
@@ -233,6 +252,17 @@ class OracleFailureDetector(_ListenerMixin, FailureDetector):
                 and now >= proc.crash_time + self.detection_delay
             ):
                 self._set_suspected(pid, True)
+            elif getattr(proc, "joining", False):
+                # A recovered process that is still *joining* cannot take
+                # part in any protocol yet, so the ground-truth detector
+                # suspects it outright — even when it recovered before the
+                # crash suspicion ever fired (otherwise t7 would wait
+                # forever for a PRED the joiner will never send).  It is
+                # unsuspected the moment its WELCOME installs.
+                self._set_suspected(pid, True)
+            elif not proc.crashed and pid in self._suspected:
+                # Ground truth again: alive and participating.
+                self._set_suspected(pid, False)
         self.sim.schedule(self.scan_period, self._scan)
 
 

@@ -167,6 +167,7 @@ class RateLimitedConsumer:
         self.paused = False
         self.consumed = 0
         self._started = False
+        self._dead = False
 
     @property
     def service_time(self) -> float:
@@ -184,8 +185,22 @@ class RateLimitedConsumer:
     def resume(self) -> None:
         self.paused = False
 
+    def restart(self) -> None:
+        """Re-arm the service loop after the underlying process recovered.
+
+        The loop dies silently when it observes a crash; a rejoin (see
+        :meth:`repro.gcs.stack.GroupStack.rejoin`) revives the process but
+        not the consumer — the fault installer calls this afterwards.
+        No-op while the loop is still alive or never started.
+        """
+        if not self._started or not self._dead or self.endpoint.process.crashed:
+            return
+        self._dead = False
+        self.sim.schedule(self.service_time, self._tick)
+
     def _tick(self) -> None:
         if self.endpoint.process.crashed:
+            self._dead = True
             return
         if not self.paused and self.endpoint.pending:
             self.endpoint.poll()

@@ -43,6 +43,7 @@ from repro.registry import (
     latency_models,
     relations as relation_registry,
 )
+from repro.sim.failure import check_positive
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network
 from repro.sim.process import ProcessId
@@ -72,6 +73,11 @@ class StackConfig:
     stability_interval: Optional[float] = None
     """Enable stability tracking (watermark gossip + stable-message GC)
     at this period; None reproduces the paper's protocol exactly."""
+
+    viewchange_retry: Optional[float] = None
+    """Re-send INIT/PRED for an open view change at this period; None (the
+    default, matching the paper's reliable channels) never retransmits.
+    Set it when running over the lossy links of :mod:`repro.faults`."""
 
     latency_model: str = "constant"
     """Named latency model; ``"constant"`` reads its value from ``latency``."""
@@ -105,6 +111,8 @@ class StackConfig:
             raise ValueError(
                 f"stability_interval must be positive: {self.stability_interval!r}"
             )
+        if self.viewchange_retry is not None:
+            check_positive(self.viewchange_retry, "viewchange_retry")
         # Raise early (with the list of registered names) on unknown backends.
         consensus_protocols.get(self.consensus)
         failure_detectors.get(self.fd)
@@ -172,6 +180,7 @@ class GroupStack:
                 fd=fd_wiring.fd,
                 listeners=listeners,
                 stability_interval=self.config.stability_interval,
+                viewchange_retry=self.config.viewchange_retry,
                 ctx=context,
             )
             self.processes[pid] = proc
@@ -224,6 +233,93 @@ class GroupStack:
 
     def crash(self, pid: ProcessId) -> None:
         self.processes[pid].crash()
+
+    # ------------------------------------------------------------------
+    # Rejoin orchestration (the recover/welcome extension)
+    # ------------------------------------------------------------------
+
+    def rejoin(
+        self,
+        pid: ProcessId,
+        via: Optional[ProcessId] = None,
+        retry: Optional[float] = None,
+    ) -> None:
+        """Bring a crashed (or excluded) member back into the group.
+
+        Revives the process as a fresh incarnation (see
+        :meth:`~repro.core.svs.SVSProcess.recover`), then has a live
+        *sponsor* — ``via``, or the lowest-pid live member — trigger a view
+        change whose ``join`` set names the returnee; the decided view's
+        survivors transfer it the new view through a WELCOME message.
+
+        ``retry`` (seconds) arms a watchdog that re-attempts the join until
+        it completes: a concurrent view change can swallow the INIT, and on
+        lossy links any of the messages involved may be dropped.  Each
+        re-attempt either re-triggers the join or — when the joiner already
+        made it into the current view but every WELCOME was lost — re-sends
+        the state transfer.  Pass ``None`` for a single attempt (enough on
+        reliable, quiescent groups).
+        """
+        # Validate everything before the first side effect: a rejected call
+        # must not leave the group mid-rejoin (and a NaN retry would
+        # poison the event queue).
+        if retry is not None:
+            check_positive(retry, "rejoin retry")
+        proc = self.processes[pid]
+        proc.recover()  # validates crashed-or-excluded before any bookkeeping
+        if self.recorder is not None:
+            self.recorder.record_rejoin(pid)
+        self._attempt_join(pid, via)
+        if retry is not None:
+            self.sim.schedule(retry, self._rejoin_watch, pid, via, retry)
+
+    def _sponsor_for(self, pid: ProcessId) -> Optional[ProcessId]:
+        for candidate in self.members:
+            proc = self.processes[candidate]
+            if (
+                candidate != pid
+                and not proc.crashed
+                and not proc.excluded
+                and not proc.joining
+            ):
+                return candidate
+        return None
+
+    def _attempt_join(self, pid: ProcessId, via: Optional[ProcessId]) -> None:
+        joiner = self.processes[pid]
+        sponsor: Optional[ProcessId] = None
+        if via is not None and via != pid:
+            # `via` is a preference, not a hard pin: a sponsor that has
+            # crashed (or is itself joining) cannot trigger anything, and
+            # silently retrying through it forever would wedge the rejoin.
+            candidate = self.processes[via]
+            if not (candidate.crashed or candidate.excluded or candidate.joining):
+                sponsor = via
+        if sponsor is None:
+            sponsor = self._sponsor_for(pid)
+        if sponsor is None:
+            return  # nobody left to sponsor; the watchdog may retry later
+        sponsor_proc = self.processes[sponsor]
+        if (
+            pid in sponsor_proc.cv.members
+            and sponsor_proc.cv.vid > joiner.cv.vid
+        ):
+            # A join view newer than the joiner's stale one was installed,
+            # yet the joiner never heard: the WELCOMEs were lost.
+            # Re-triggering would deadlock (t7 waits for the joiner's
+            # PRED); re-send the transfer instead.
+            sponsor_proc.send_welcome(pid)
+        else:
+            sponsor_proc.trigger_view_change(join=(pid,))
+
+    def _rejoin_watch(
+        self, pid: ProcessId, via: Optional[ProcessId], retry: float
+    ) -> None:
+        proc = self.processes[pid]
+        if not proc.joining or proc.crashed:
+            return  # joined (or crashed again); the watchdog stands down
+        self._attempt_join(pid, via)
+        self.sim.schedule(retry, self._rejoin_watch, pid, via, retry)
 
     def drain_all(self) -> None:
         """Have every live process deliver everything queued."""

@@ -15,7 +15,10 @@ of editing :mod:`repro.gcs.stack`:
   names the object handed to every :class:`~repro.core.svs.SVSProcess`
   (a shared detector instance or a per-process factory) plus a
   ``finalize(stack)`` hook run once all processes exist;
-* :data:`workloads` — ``factory(**params) -> Trace``.
+* :data:`workloads` — ``factory(**params) -> Trace``;
+* :data:`fault_profiles` — ``factory(**params) -> FaultPlan``: named,
+  parameterised fault schedules (see :mod:`repro.faults`), usable from
+  ``Scenario.faults("partition-heal", ...)`` and as sweep axes.
 
 Registering is one decorator::
 
@@ -46,6 +49,7 @@ __all__ = [
     "consensus_protocols",
     "failure_detectors",
     "workloads",
+    "fault_profiles",
 ]
 
 
@@ -187,3 +191,4 @@ failure_detectors = Registry(
     "failure detector", "factory(stack) -> FDWiring"
 )
 workloads = Registry("workload", "factory(**params) -> Trace")
+fault_profiles = Registry("fault profile", "factory(**params) -> FaultPlan")

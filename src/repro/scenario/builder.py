@@ -51,16 +51,26 @@ from repro.core.message import View
 from repro.core.obsolescence import ObsolescenceRelation
 from repro.core.spec import CHECKS, check_all
 from repro.core.svs import SVSListeners
+from repro.faults.plan import (
+    Crash as CrashEvent,
+    FaultEvent,
+    FaultPlan,
+    FaultPlanError,
+    Perturb as PerturbEvent,
+    Recover as RecoverEvent,
+    ViewChange as ViewChangeEvent,
+)
 from repro.gcs.context import RunContext
 from repro.gcs.endpoint import GroupEndpoint, RateLimitedConsumer
 from repro.gcs.stack import GroupStack, StackConfig
 from repro.metrics.collectors import TimeWeightedStat
 from repro.registry import (
+    fault_profiles as fault_profile_registry,
     relations as relation_registry,
     workloads as workload_registry,
 )
 from repro.scenario.result import ScenarioResult, serialize_histories
-from repro.sim.failure import Perturbation, PerturbationSchedule
+from repro.sim.failure import Perturbation
 from repro.workload.trace import Trace, to_data_messages
 
 __all__ = ["Scenario", "LiveScenario", "ScenarioError", "KNOWN_METRICS"]
@@ -139,7 +149,9 @@ class Scenario:
         self._drain_period: Optional[float] = None
         self._perturbations: List[Tuple[int, Perturbation]] = []
         self._crashes: List[Tuple[int, float]] = []
+        self._recovers: List[RecoverEvent] = []
         self._view_changes: List[Tuple[int, float]] = []
+        self._fault_plans: List[FaultPlan] = []
         self._metrics: List[str] = []
         self._sample_period = 0.05
         self._check = True
@@ -327,6 +339,69 @@ class Scenario:
         if at < 0:
             raise ScenarioError(f"crash time must be non-negative: {at}")
         self._crashes.append((pid, at))
+        return self
+
+    def recover(
+        self,
+        pid: int,
+        at: float,
+        via: Optional[int] = None,
+        retry: Optional[float] = 0.5,
+    ) -> "Scenario":
+        """Revive a crashed (or excluded) ``pid`` at ``at`` and rejoin it
+        through the stack (state transfer + fresh incarnation; see
+        :meth:`repro.gcs.stack.GroupStack.rejoin`).  ``retry`` keeps a
+        watchdog re-attempting the join — on lossy links, leave it on."""
+        try:
+            self._recovers.append(
+                RecoverEvent(at=at, pid=pid, via=via, retry=retry)
+            )
+        except ValueError as exc:
+            raise ScenarioError(str(exc)) from None
+        return self
+
+    def faults(
+        self,
+        source: Union[FaultPlan, str, Sequence[Any]],
+        **params: Any,
+    ) -> "Scenario":
+        """Attach a fault plan (see :mod:`repro.faults`).
+
+        ``source`` may be a :class:`~repro.faults.FaultPlan`, a registered
+        fault-profile name (``"partition-heal"``, ``"lossy-links"``,
+        ``"crash-rejoin"``, ``"partition-churn"``, ...) instantiated with
+        ``params``, or a sequence of fault events / event dicts (the
+        sweepable form).  May be called repeatedly; plans accumulate.
+        """
+        if isinstance(source, str):
+            plan = fault_profile_registry.create(source, **params)
+            if not isinstance(plan, FaultPlan):
+                raise ScenarioError(
+                    f"fault profile {source!r} returned "
+                    f"{type(plan).__name__}, not a FaultPlan"
+                )
+        elif params:
+            raise ScenarioError(
+                "fault parameters only apply to named fault profiles"
+            )
+        elif isinstance(source, FaultPlan):
+            plan = source
+        elif isinstance(source, Sequence):
+            try:
+                if all(isinstance(e, FaultEvent) for e in source):
+                    plan = FaultPlan(source)
+                else:
+                    plan = FaultPlan.from_dicts(source)
+            except ValueError as exc:
+                raise ScenarioError(str(exc)) from None
+        else:
+            raise ScenarioError(
+                f"faults() takes a FaultPlan, a profile name or a sequence "
+                f"of events, got {type(source).__name__}"
+            )
+        if plan.installed:
+            raise ScenarioError("fault plan was already installed elsewhere")
+        self._fault_plans.append(plan)
         return self
 
     def view_change(self, at: float, pid: int = 0) -> "Scenario":
@@ -538,18 +613,30 @@ class LiveScenario:
         if spec._drain_period is not None:
             self.sim.schedule(spec._drain_period, self._drain_tick)
 
-        # Fault and membership schedules.
-        by_pid: Dict[int, List[Perturbation]] = {}
-        for pid, perturbation in spec._perturbations:
-            by_pid.setdefault(pid, []).append(perturbation)
-        for pid in sorted(by_pid):
-            PerturbationSchedule(self.sim, self.consumers[pid], by_pid[pid]).install()
-        for pid, at in spec._crashes:
-            self.sim.schedule_at(at, self.stack.processes[pid].crash)
-        for pid, at in spec._view_changes:
-            self.sim.schedule_at(
-                at, self.stack.processes[pid].trigger_view_change
-            )
+        # Fault and membership schedules: the perturb/crash/recover/
+        # view-change sugar and every .faults() plan are folded into one
+        # FaultPlan and installed together.  A fresh plan is built per
+        # LiveScenario so the same Scenario can be built repeatedly; the
+        # event order below reproduces the legacy wiring byte-for-byte.
+        events: List[FaultEvent] = [
+            PerturbEvent(at=p.start, pid=pid, duration=p.duration)
+            for pid, p in spec._perturbations
+        ]
+        events.extend(
+            CrashEvent(at=at, pid=pid) for pid, at in spec._crashes
+        )
+        events.extend(spec._recovers)
+        events.extend(
+            ViewChangeEvent(at=at, pid=pid) for pid, at in spec._view_changes
+        )
+        for plan in spec._fault_plans:
+            events.extend(plan.events)
+        self.fault_plan = FaultPlan(events)
+        try:
+            self.fault_plan.install(self.stack, consumers=self.consumers)
+        except FaultPlanError as exc:
+            # One error contract for the whole builder surface.
+            raise ScenarioError(str(exc)) from None
 
         # Custom traffic drivers run last, with everything else wired.
         for driver in spec._drivers:
@@ -812,5 +899,7 @@ class LiveScenario:
                     "sent": self.stack.network.messages_sent,
                     "delivered": self.stack.network.messages_delivered,
                     "dropped": self.stack.network.messages_dropped,
+                    "duplicated": self.stack.network.messages_duplicated,
+                    "reordered": self.stack.network.messages_reordered,
                 }
         return metrics

@@ -49,11 +49,25 @@ def serialize_entry(entry: Any) -> Dict[str, Any]:
 
 
 def serialize_histories(recorder: HistoryRecorder) -> Dict[str, List[Dict[str, Any]]]:
-    """Every process's delivery history, keyed by stringified pid."""
-    return {
+    """Every process's delivery history, keyed by stringified pid.
+
+    Rejoined processes contribute one history per incarnation: retired
+    (pre-rejoin) incarnations appear under ``"<pid>@<k>"`` where ``k``
+    counts rejoins in order, the live incarnation under the bare pid.
+    Runs without rejoins serialize exactly as before.
+    """
+    out = {
         str(pid): [serialize_entry(e) for e in history.events]
         for pid, history in sorted(recorder.histories.items())
     }
+    rejoins: Dict[int, int] = {}
+    for history in recorder.retired:
+        index = rejoins.get(history.pid, 0)
+        rejoins[history.pid] = index + 1
+        out[f"{history.pid}@{index}"] = [
+            serialize_entry(e) for e in history.events
+        ]
+    return out
 
 
 @dataclass

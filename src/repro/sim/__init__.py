@@ -3,14 +3,17 @@
 Everything in the reproduction executes on this substrate: a deterministic
 event-driven :class:`~repro.sim.kernel.Simulator`, crash-stop
 :class:`~repro.sim.process.SimProcess` participants, a reliable-FIFO
-:class:`~repro.sim.network.Network`, and fault/perturbation injection in
-:mod:`repro.sim.failure`.
+:class:`~repro.sim.network.Network` with an optional lossy/partitionable
+link layer, and the legacy fault/perturbation schedules in
+:mod:`repro.sim.failure` (superseded by the declarative plans of
+:mod:`repro.faults`).
 """
 
 from repro.sim.kernel import Event, EventHandle, PeriodicTimer, SimulationError, Simulator
 from repro.sim.network import (
     ConstantLatency,
     LatencyModel,
+    LinkFaultPolicy,
     LognormalLatency,
     Network,
     UniformLatency,
@@ -20,6 +23,7 @@ from repro.sim.failure import (
     CrashSchedule,
     Perturbation,
     PerturbationSchedule,
+    ScheduleError,
     periodic_perturbations,
 )
 
@@ -37,8 +41,10 @@ __all__ = [
     "ProcessId",
     "SimProcess",
     "ProcessRegistry",
+    "LinkFaultPolicy",
     "CrashSchedule",
     "Perturbation",
     "PerturbationSchedule",
+    "ScheduleError",
     "periodic_perturbations",
 ]

@@ -1,4 +1,4 @@
-"""Fault and perturbation injection.
+"""Fault and perturbation injection (legacy schedules).
 
 The paper distinguishes two phenomena:
 
@@ -11,10 +11,19 @@ The paper distinguishes two phenomena:
 injects the latter by pausing/resuming a *rate-limited consumer* (anything
 exposing ``pause()``/``resume()``).  Both are driven off the simulator so
 experiments are reproducible.
+
+.. deprecated::
+    These two classes predate :class:`repro.faults.FaultPlan`, which
+    expresses the same events (plus partitions, lossy links, rejoin churn)
+    declaratively, validates them up front and is sweepable.  They are kept
+    working — :class:`~repro.faults.FaultPlan` installs perturbations
+    through :class:`PerturbationSchedule`'s reference-counted pause/resume
+    machinery — but new code should build a fault plan instead.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Protocol, Sequence, Tuple
 
@@ -23,10 +32,45 @@ from repro.sim.process import SimProcess
 
 __all__ = [
     "Pausable",
+    "ScheduleError",
+    "check_time",
+    "check_positive",
     "CrashSchedule",
     "Perturbation",
     "PerturbationSchedule",
 ]
+
+
+class ScheduleError(ValueError, RuntimeError):
+    """An invalid fault schedule: bad times, unknown targets, double install.
+
+    Subclasses both :class:`ValueError` (the documented contract shared
+    with :class:`repro.faults.FaultPlan`) and :class:`RuntimeError` (what
+    the original double-``install()`` raised), so historical ``except``
+    clauses keep working.
+    """
+
+
+def check_time(value: float, what: str, exc: type = ScheduleError) -> None:
+    """Reject anything but a finite non-negative number (NaN fails the
+    ``>= 0`` comparison).  Shared by the legacy schedules and
+    :mod:`repro.faults` so the two validation surfaces cannot diverge."""
+    if not isinstance(value, (int, float)) or not (value >= 0):
+        raise exc(f"{what} must be a non-negative number: {value!r}")
+    if math.isinf(value):
+        raise exc(f"{what} must be finite: {value!r}")
+
+
+def check_positive(value: float, what: str, exc: type = ValueError) -> None:
+    """Reject anything but a finite strictly-positive number (NaN fails
+    the ``> 0`` comparison).  Shared by the retry/interval knobs across
+    the stack so their validation cannot diverge either."""
+    if (
+        not isinstance(value, (int, float))
+        or not (value > 0)
+        or math.isinf(value)
+    ):
+        raise exc(f"{what} must be a positive finite number: {value!r}")
 
 
 class Pausable(Protocol):
@@ -42,7 +86,9 @@ class CrashSchedule:
     """Crash given processes at given simulated times.
 
     ``crashes`` is a sequence of ``(time, process)`` pairs.  Call
-    :meth:`install` once after constructing the processes.
+    :meth:`install` once after constructing the processes; the schedule
+    validates itself there (negative/NaN times, non-process targets and
+    double installation all raise :class:`ScheduleError`).
     """
 
     sim: Simulator
@@ -51,7 +97,13 @@ class CrashSchedule:
 
     def install(self) -> None:
         if self.installed:
-            raise RuntimeError("crash schedule already installed")
+            raise ScheduleError("crash schedule already installed")
+        for time, proc in self.crashes:
+            check_time(time, "crash time")
+            if not callable(getattr(proc, "crash", None)):
+                raise ScheduleError(
+                    f"crash target has no crash() method: {proc!r}"
+                )
         self.installed = True
         for time, proc in self.crashes:
             self.sim.schedule_at(time, proc.crash)
@@ -90,11 +142,12 @@ class PerturbationSchedule:
 
     def install(self) -> None:
         if self._installed:
-            raise RuntimeError("perturbation schedule already installed")
+            raise ScheduleError("perturbation schedule already installed")
+        for p in self.perturbations:
+            check_time(p.start, "perturbation start")
+            check_time(p.duration, "perturbation duration")
         self._installed = True
         for p in self.perturbations:
-            if p.duration < 0:
-                raise ValueError(f"negative perturbation duration: {p}")
             self.sim.schedule_at(p.start, self._pause)
             self.sim.schedule_at(p.end, self._resume)
 

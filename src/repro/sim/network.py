@@ -12,8 +12,15 @@ under jittery latency by never scheduling a delivery earlier than the
 previous delivery on the same channel.
 
 For failure-detector and liveness tests the network also supports *fault
-injection* (drops, partitions, extra delay).  These knobs are off by default
-so the core protocol runs over the paper's assumed reliable channels.
+injection* (drops, partitions, extra delay), and for the
+:mod:`repro.faults` subsystem a declarative **lossy link layer**: per-edge
+(or network-wide) probabilistic loss, duplication and reordering
+(:meth:`Network.set_link_fault`), with every draw taken from a dedicated
+``faults.<src>.<dst>`` RNG stream so runs stay byte-reproducible and the
+fault draws of one edge never perturb another edge (or the latency
+streams).  All knobs are off by default so the core protocol runs over the
+paper's assumed reliable channels; the fast send path is untouched unless
+a link fault is actually configured.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ __all__ = [
     "ConstantLatency",
     "UniformLatency",
     "LognormalLatency",
+    "LinkFaultPolicy",
     "Network",
     "ChannelStats",
 ]
@@ -171,6 +179,46 @@ def _lognormal_latency(
     return LognormalLatency(sim, mean, sigma)
 
 
+@dataclass(frozen=True)
+class LinkFaultPolicy:
+    """Probabilistic fault rates applied to messages on a link.
+
+    ``loss``, ``duplicate`` and ``reorder`` are independent per-message
+    probabilities in ``[0, 1]``.  A reordered message is delivered at
+    ``latency + U(0, reorder_spread)`` *without* the FIFO clamp, so later
+    sends on the same channel may overtake it.  ``filter`` (optional)
+    restricts the policy to payloads it returns true for — e.g. "data
+    messages only", keeping the control plane reliable.
+
+    A policy whose rates are all zero is *inert but present*: it shadows a
+    broader policy in the resolution order (exact edge > source wildcard >
+    destination wildcard > network-wide default) without consuming any
+    randomness, so installing it cannot change event order.
+    """
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    reorder_spread: float = 0.004
+    filter: Optional[Callable[[Any], bool]] = None
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "duplicate", "reorder"):
+            rate = getattr(self, name)
+            # NaN fails the range check too (all comparisons are false).
+            if not (isinstance(rate, (int, float)) and 0.0 <= rate <= 1.0):
+                raise ValueError(f"{name} rate must be in [0, 1]: {rate!r}")
+        if not (self.reorder_spread > 0) or math.isinf(self.reorder_spread):
+            raise ValueError(
+                f"reorder_spread must be positive and finite: "
+                f"{self.reorder_spread!r}"
+            )
+
+    @property
+    def inert(self) -> bool:
+        return not (self.loss or self.duplicate or self.reorder)
+
+
 @dataclass
 class ChannelStats:
     """Per-channel counters, used by tests and the metrics layer."""
@@ -178,6 +226,8 @@ class ChannelStats:
     sent: int = 0
     delivered: int = 0
     dropped: int = 0
+    duplicated: int = 0
+    reordered: int = 0
 
 
 class Network:
@@ -218,9 +268,21 @@ class Network:
         self._cut: Set[Tuple[ProcessId, ProcessId]] = set()
         self._drop_filter: Optional[Callable[[ProcessId, ProcessId, Any], bool]] = None
         self._delay_filter: Optional[Callable[[ProcessId, ProcessId, Any], float]] = None
+        # Lossy link layer: policies keyed by (src|None, dst|None); the
+        # per-channel resolution is cached until a policy changes.  Fault
+        # draws come from per-edge "faults.<src>.<dst>" RNG streams.
+        self._link_faults: Dict[
+            Tuple[Optional[ProcessId], Optional[ProcessId]], LinkFaultPolicy
+        ] = {}
+        self._policy_cache: Dict[
+            Tuple[ProcessId, ProcessId], Optional[LinkFaultPolicy]
+        ] = {}
+        self._fault_rngs: Dict[Tuple[ProcessId, ProcessId], Any] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.messages_reordered = 0
 
     # ------------------------------------------------------------------
     # Topology
@@ -264,6 +326,23 @@ class Network:
             self.messages_dropped += 1
             return
 
+        # Lossy link layer (repro.faults).  Policy resolution is a cached
+        # dict lookup; draws are only taken for non-zero rates, so an
+        # all-zero policy is byte-identical to no policy at all.
+        policy = None
+        if self._link_faults:
+            policy = self._resolve_policy(channel)
+            if policy is not None and (
+                policy.inert
+                or (policy.filter is not None and not policy.filter(payload))
+            ):
+                policy = None
+        if policy is not None and policy.loss:
+            if self._fault_rng(channel).random() < policy.loss:
+                stats.dropped += 1
+                self.messages_dropped += 1
+                return
+
         delay = self._constant
         if delay is None:
             # Batched per-edge draws, consumed in the model's stream order.
@@ -276,11 +355,40 @@ class Network:
         if self._delay_filter is not None:
             delay += self._delay_filter(src, dst, payload)
 
-        # FIFO: never deliver before the previously scheduled delivery on
-        # this channel, regardless of the sampled latency.
-        deliver_at = max(self.sim.now + delay, self._last_delivery.get(channel, 0.0))
-        self._last_delivery[channel] = deliver_at
+        if policy is None:
+            # Fast path: reliable FIFO channel, exactly as before faults
+            # existed.  Never deliver before the previously scheduled
+            # delivery on this channel, regardless of the sampled latency.
+            deliver_at = max(
+                self.sim.now + delay, self._last_delivery.get(channel, 0.0)
+            )
+            self._last_delivery[channel] = deliver_at
+            self.sim.schedule_at(deliver_at, self._deliver, src, dst, payload)
+            return
+
+        rng = self._fault_rng(channel)
+        duplicated = bool(policy.duplicate) and rng.random() < policy.duplicate
+        reordered = bool(policy.reorder) and rng.random() < policy.reorder
+        if reordered:
+            # Extra delay *without* the FIFO clamp: later sends on this
+            # channel may overtake the straggler, and the straggler does
+            # not advance the clamp for them.
+            stats.reordered += 1
+            self.messages_reordered += 1
+            deliver_at = self.sim.now + delay + rng.random() * policy.reorder_spread
+        else:
+            deliver_at = max(
+                self.sim.now + delay, self._last_delivery.get(channel, 0.0)
+            )
+            self._last_delivery[channel] = deliver_at
         self.sim.schedule_at(deliver_at, self._deliver, src, dst, payload)
+        if duplicated:
+            # The copy is scheduled at the same instant but with a later
+            # sequence number, so it arrives right after the original and
+            # never violates FIFO on its own.
+            stats.duplicated += 1
+            self.messages_duplicated += 1
+            self.sim.schedule_at(deliver_at, self._deliver, src, dst, payload)
 
     def _deliver(self, src: ProcessId, dst: ProcessId, payload: Any) -> None:
         proc = self._procs.get(dst)
@@ -320,6 +428,74 @@ class Network:
     ) -> None:
         """Drop messages for which ``predicate(src, dst, payload)`` is true."""
         self._drop_filter = predicate
+
+    def set_link_fault(
+        self,
+        src: Optional[ProcessId] = None,
+        dst: Optional[ProcessId] = None,
+        *,
+        loss: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        reorder_spread: float = 0.004,
+        filter: Optional[Callable[[Any], bool]] = None,
+    ) -> None:
+        """Install (or replace) a :class:`LinkFaultPolicy`.
+
+        ``src``/``dst`` select the scope: both ``None`` is the network-wide
+        default, one of them wildcards that end, both given names one
+        directed edge.  Resolution per message is most-specific-first:
+        ``(src, dst)`` > ``(src, *)`` > ``(*, dst)`` > default — so an
+        explicit all-zero policy on an edge shields it from a lossy
+        default.  Every probabilistic draw comes from the edge's own
+        ``faults.<src>.<dst>`` RNG stream, independent of latency draws
+        and of every other edge.
+        """
+        self._link_faults[(src, dst)] = LinkFaultPolicy(
+            loss=loss,
+            duplicate=duplicate,
+            reorder=reorder,
+            reorder_spread=reorder_spread,
+            filter=filter,
+        )
+        self._policy_cache.clear()
+
+    def clear_link_fault(
+        self, src: Optional[ProcessId] = None, dst: Optional[ProcessId] = None
+    ) -> None:
+        """Remove the policy installed for exactly this scope (idempotent)."""
+        self._link_faults.pop((src, dst), None)
+        self._policy_cache.clear()
+
+    def clear_link_faults(self) -> None:
+        """Remove every link-fault policy; the network is reliable again."""
+        self._link_faults.clear()
+        self._policy_cache.clear()
+
+    def _resolve_policy(
+        self, channel: Tuple[ProcessId, ProcessId]
+    ) -> Optional[LinkFaultPolicy]:
+        try:
+            return self._policy_cache[channel]
+        except KeyError:
+            pass
+        src, dst = channel
+        faults = self._link_faults
+        policy = (
+            faults.get((src, dst))
+            or faults.get((src, None))
+            or faults.get((None, dst))
+            or faults.get((None, None))
+        )
+        self._policy_cache[channel] = policy
+        return policy
+
+    def _fault_rng(self, channel: Tuple[ProcessId, ProcessId]):
+        rng = self._fault_rngs.get(channel)
+        if rng is None:
+            rng = self.sim.rng(f"faults.{channel[0]}.{channel[1]}")
+            self._fault_rngs[channel] = rng
+        return rng
 
     def set_delay_filter(
         self, extra: Optional[Callable[[ProcessId, ProcessId, Any], float]]

@@ -18,7 +18,12 @@ Recognised keys (all optional unless noted)::
     drain_every     bulk-drain period (alternative to consumers)
     perturb         [[pid, at, duration], ...]
     crash           [[pid, at], ...]
+    recover         [[pid, at], [pid, at, via], or [pid, at, via, retry]
+                    (retry null = single attempt), ...]
     view_change     [[at] or [at, pid], ...]
+    faults          {"profile": name, "params": {...}} or [event dicts]
+                    (see repro.faults; axes can reach into it, e.g.
+                    .axis("faults.params.loss", [0.0, 0.05]))
     metrics         names for Scenario.collect (default: all known)
     sample_period, histories, checks, drain
     until           (required) simulated run time
@@ -69,7 +74,9 @@ SCENARIO_CELL_KEYS = frozenset(
         "drain_every",
         "perturb",
         "crash",
+        "recover",
         "view_change",
+        "faults",
         "metrics",
         "sample_period",
         "histories",
@@ -143,9 +150,25 @@ def scenario_cell(
         scenario.perturb(pid=pid, at=at, duration=duration)
     for pid, at in merged.get("crash") or ():
         scenario.crash(pid=pid, at=at)
+    for entry in merged.get("recover") or ():
+        pid, at = entry[0], entry[1]
+        via = entry[2] if len(entry) > 2 else None
+        retry = entry[3] if len(entry) > 3 else 0.5
+        scenario.recover(pid=pid, at=at, via=via, retry=retry)
     for entry in merged.get("view_change") or ():
         at, pid = (entry[0], entry[1]) if len(entry) > 1 else (entry[0], 0)
         scenario.view_change(at=at, pid=pid)
+    faults = merged.get("faults")
+    if faults is not None:
+        if isinstance(faults, Mapping):
+            if "profile" not in faults:
+                raise SweepError(
+                    "a faults mapping must be {'profile': name, 'params': "
+                    "{...}}; pass a *list* of event dicts for raw events"
+                )
+            scenario.faults(faults["profile"], **dict(faults.get("params") or {}))
+        else:
+            scenario.faults(faults)
     metrics = merged.get("metrics")
     if metrics is None:  # absent or explicit None both mean "everything"
         metrics = KNOWN_METRICS

@@ -1,0 +1,41 @@
+"""Golden regression for the churn experiment.
+
+``golden_churn.json`` pins the aggregate table of
+:func:`repro.analysis.experiments.churn_table` — generated once when the
+fault-injection subsystem landed, asserted byte-for-byte thereafter (the
+same pattern as the figure_4a fixture).  If a change is *supposed* to move
+these numbers, regenerate the fixture and say so in the commit.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+import repro.analysis.experiments as exp
+
+FIXTURES = pathlib.Path(__file__).parent.parent / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(FIXTURES / "golden_churn.json", "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class TestGoldenChurn:
+    def test_defaults_unchanged(self, golden):
+        """The fixture pins one configuration; churn defaults must match
+        it (or the fixture must be regenerated alongside)."""
+        normalised = {
+            k: (list(v) if isinstance(v, tuple) else v)
+            for k, v in exp.CHURN_DEFAULTS.items()
+        }
+        assert normalised == golden["defaults"]
+
+    def test_table_matches_fixture(self, golden):
+        rows = exp.churn_table(
+            periods=tuple(golden["periods"]),
+            losses=tuple(golden["losses"]),
+        )
+        assert [list(row) for row in rows] == golden["rows"]

@@ -44,6 +44,7 @@ class TestMkdocsConfig:
         assert "architecture.md" in files
         assert "kernel.md" in files
         assert "index.md" in files
+        assert "faults.md" in files
 
 
 class TestInternalLinks:
@@ -92,6 +93,50 @@ class TestPaperToCodeMap:
                     continue
             else:
                 raise AssertionError(f"docs cite unimportable {dotted}")
+
+
+class TestFaultsDocMatchesCode:
+    def test_every_fault_event_documented(self):
+        """The event taxonomy in docs/faults.md must name every event type
+        the plan module exports, so a new fault kind cannot land
+        undocumented."""
+        from repro.faults import plan
+
+        text = (DOCS / "faults.md").read_text()
+        event_names = [
+            name
+            for name in plan.__all__
+            if isinstance(getattr(plan, name), type)
+            and issubclass(getattr(plan, name), plan.FaultEvent)
+            and getattr(plan, name) is not plan.FaultEvent
+        ]
+        assert event_names, "no fault event types exported?"
+        missing = [n for n in event_names if f"`{n}`" not in text]
+        assert not missing, f"docs/faults.md misses event types: {missing}"
+
+    def test_every_builtin_profile_documented(self):
+        from repro.faults import fault_profiles
+
+        text = (DOCS / "faults.md").read_text()
+        missing = [
+            name for name in fault_profiles.names() if f"`{name}`" not in text
+        ]
+        assert not missing, f"docs/faults.md misses fault profiles: {missing}"
+
+    def test_entry_points_in_paper_to_code_map(self):
+        """churn_table is covered by the generic map test; the subsystem
+        itself and the rejoin entry point must also be cited."""
+        text = (DOCS / "architecture.md").read_text()
+        assert "`repro.faults`" in text
+        assert "rejoin" in text
+
+    def test_lossy_checks_documented_and_real(self):
+        from repro.core.spec import CHECKS, LOSSY_CHECKS
+
+        text = (DOCS / "faults.md").read_text()
+        assert "LOSSY_CHECKS" in text
+        for name in LOSSY_CHECKS:
+            assert name in CHECKS
 
 
 class TestKernelDocMatchesCode:

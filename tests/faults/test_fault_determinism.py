@@ -1,0 +1,152 @@
+"""Determinism regression: fault plans add no nondeterminism.
+
+Same seed ⇒ byte-identical ``ScenarioResult.to_json()`` under any fault
+plan, and a sweep over a fault axis is byte-identical between serial and
+multiprocess execution.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Scenario
+from repro.core.spec import LOSSY_CHECKS
+from repro.sweep import ScenarioSweep
+
+
+def run_scenario(seed, faults, until=9.0):
+    return (
+        Scenario()
+        .group(
+            n=5,
+            relation="item-tagging",
+            consensus="oracle",
+            seed=seed,
+            viewchange_retry=0.25,
+        )
+        .workload("game", rounds=250)
+        .consumers(rate=250)
+        .faults(faults)
+        .view_change(at=4.0)
+        .check(checks=LOSSY_CHECKS)
+        .collect("throughput", "view_changes", "network", "purges")
+        .run(until=until)
+    )
+
+
+FULL_PLAN = [
+    {"kind": "link-fault", "at": 0.0, "loss": 0.05, "duplicate": 0.02,
+     "reorder": 0.02, "data_only": True},
+    {"kind": "partition", "at": 2.0, "sides": [[3, 4]]},
+    {"kind": "heal", "at": 3.0},
+    {"kind": "crash", "at": 5.0, "pid": 4},
+    {"kind": "recover", "at": 6.0, "pid": 4},
+    {"kind": "perturb", "at": 1.0, "pid": 2, "duration": 0.5},
+]
+
+
+class TestSameSeedSameHistory:
+    def test_full_plan_byte_identical(self):
+        a = run_scenario(17, FULL_PLAN)
+        b = run_scenario(17, FULL_PLAN)
+        assert a.ok, a.violations
+        assert a.to_json() == b.to_json()
+
+    def test_different_seeds_differ(self):
+        a = run_scenario(17, FULL_PLAN)
+        b = run_scenario(18, FULL_PLAN)
+        assert a.to_json() != b.to_json()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        loss=st.sampled_from([0.0, 0.03, 0.1]),
+        duplicate=st.sampled_from([0.0, 0.05]),
+        partition_at=st.floats(min_value=0.5, max_value=3.0),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_random_plans_byte_identical(
+        self, seed, loss, duplicate, partition_at
+    ):
+        plan = [
+            {"kind": "link-fault", "at": 0.0, "loss": loss,
+             "duplicate": duplicate, "data_only": True},
+            {"kind": "partition", "at": partition_at, "sides": [[4]]},
+            {"kind": "heal", "at": partition_at + 0.8},
+        ]
+        a = run_scenario(seed, plan, until=6.0)
+        b = run_scenario(seed, plan, until=6.0)
+        assert a.to_json() == b.to_json()
+
+    def test_fault_streams_do_not_perturb_faultless_edges(self):
+        """Installing a fault on one edge leaves a fault-free scenario's
+        results untouched: an all-zero plan equals no plan at all."""
+        base = (
+            Scenario()
+            .group(n=3, relation="item-tagging", consensus="oracle", seed=3)
+            .workload("game", rounds=150)
+            .consumers(rate=300)
+            .collect("throughput")
+            .run(until=5.0)
+        )
+        zeroed = (
+            Scenario()
+            .group(n=3, relation="item-tagging", consensus="oracle", seed=3)
+            .workload("game", rounds=150)
+            .consumers(rate=300)
+            .faults([{"kind": "link-fault", "at": 0.0, "loss": 0.0}])
+            .collect("throughput")
+            .run(until=5.0)
+        )
+        assert base.to_json() == zeroed.to_json()
+
+
+BASE = {
+    "until": 6.0,
+    "workload": "game",
+    "workload_params": {"rounds": 150},
+    "consumer_rate": 250.0,
+    "consensus": "oracle",
+    "config": {"viewchange_retry": 0.25},
+    "checks": list(LOSSY_CHECKS),
+    "histories": True,
+    "metrics": ["throughput", "view_changes", "network"],
+    "n": 5,
+    "faults": {
+        "profile": "partition-churn",
+        "params": {"side": [4], "at": 1.0, "period": 2.0, "cycles": 2},
+    },
+}
+
+
+def make_sweep():
+    return (
+        ScenarioSweep(base=BASE, seeds=2, base_seed=7)
+        .axis("faults.params.loss", [0.0, 0.05])
+    )
+
+
+class TestFaultCellValidation:
+    def test_faults_mapping_without_profile_rejected(self):
+        from repro.sweep import SweepError, scenario_cell
+
+        cell = dict(BASE)
+        cell["faults"] = {"kind": "link-fault", "loss": 0.05}
+        with pytest.raises(SweepError, match="profile"):
+            scenario_cell(cell, seed=1)
+
+
+@pytest.mark.slow
+class TestSweepOverFaultAxis:
+    def test_serial_vs_parallel_byte_identical(self):
+        serial = make_sweep().run(workers=0, keep_results=True)
+        parallel = make_sweep().run(workers=2, keep_results=True)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_fault_axis_actually_varies_cells(self):
+        serial = make_sweep().run(workers=0, keep_results=True)
+        dropped = {
+            loss: serial.select(**{"faults.params.loss": loss}).value(
+                "network.dropped"
+            )
+            for loss in (0.0, 0.05)
+        }
+        assert dropped[0.05] > dropped[0.0]

@@ -1,0 +1,266 @@
+"""Rejoin semantics: recovery, state transfer, incarnations, consumers."""
+
+import pytest
+
+from repro import GroupStack, ItemTagging, Scenario, StackConfig
+from repro.core.spec import LOSSY_CHECKS, check_all
+
+
+def make_stack(n=3, **kwargs):
+    kwargs.setdefault("consensus", "oracle")
+    return GroupStack(ItemTagging(), StackConfig(n=n, **kwargs))
+
+
+class TestStackRejoin:
+    def test_crash_then_rejoin_same_view(self):
+        stack = make_stack()
+        stack.run(until=0.5)
+        stack.crash(2)
+        stack.run(until=1.0)
+        stack.rejoin(2)
+        stack.run(until=2.0)
+        for proc in stack:
+            assert proc.cv.vid == 1
+            assert proc.cv.members == frozenset({0, 1, 2})
+            assert not proc.joining and not proc.blocked
+
+    def test_rejoin_after_intervening_view_change(self):
+        stack = make_stack()
+        stack.run(until=0.5)
+        stack.crash(2)
+        stack.run(until=1.0)
+        stack.processes[0].trigger_view_change()
+        stack.run(until=2.0)
+        assert stack.processes[0].cv.members == frozenset({0, 1})
+        stack.rejoin(2)
+        stack.run(until=3.0)
+        assert stack.processes[0].cv.members == frozenset({0, 1, 2})
+        assert stack.processes[2].cv.vid == stack.processes[0].cv.vid
+
+    def test_rejoin_of_live_process_rejected(self):
+        stack = make_stack()
+        stack.run(until=0.5)
+        with pytest.raises(ValueError, match="neither crashed nor excluded"):
+            stack.rejoin(1)
+
+    @pytest.mark.parametrize("retry", [0, -1.0, float("nan"), float("inf")])
+    def test_invalid_retry_rejected_before_any_side_effect(self, retry):
+        stack = make_stack()
+        stack.run(until=0.5)
+        stack.crash(2)
+        stack.run(until=1.0)
+        with pytest.raises(ValueError, match="retry"):
+            stack.rejoin(2, retry=retry)
+        # The rejected call must not have started a rejoin.
+        assert stack.processes[2].crashed
+        assert not stack.processes[2].joining
+        assert stack.recorder.retired == []
+
+    def test_excluded_process_can_rejoin(self):
+        stack = make_stack()
+        stack.run(until=0.5)
+        stack.processes[0].trigger_view_change(leave=(2,))
+        stack.run(until=1.0)
+        assert stack.processes[2].excluded
+        stack.rejoin(2)
+        stack.run(until=2.0)
+        assert not stack.processes[2].excluded
+        assert stack.processes[2].cv.members == frozenset({0, 1, 2})
+
+    def test_rejoined_process_multicasts_again(self):
+        stack = make_stack()
+        stack.run(until=0.5)
+        stack.crash(2)
+        stack.run(until=1.0)
+        stack.rejoin(2)
+        stack.run(until=2.0)
+        msg = stack.processes[2].multicast("back", None)
+        assert msg is not None
+        stack.run(until=3.0)
+        assert any(
+            getattr(e, "payload", None) == "back"
+            for e in stack.processes[0].drain()
+        )
+
+    def test_sequence_numbers_survive_crash(self):
+        """Message ids must stay unique across incarnations."""
+        stack = make_stack()
+        stack.run(until=0.5)
+        first = stack.processes[2].multicast("pre", None)
+        stack.run(until=0.7)
+        stack.crash(2)
+        stack.run(until=1.0)
+        stack.rejoin(2)
+        stack.run(until=2.0)
+        second = stack.processes[2].multicast("post", None)
+        assert second.sn > first.sn
+
+    def test_spec_checks_pass_across_rejoin(self):
+        stack = make_stack()
+        stack.run(until=0.5)
+        stack.processes[0].multicast("a", 1)
+        stack.run(until=1.0)
+        stack.crash(2)
+        stack.run(until=1.5)
+        stack.rejoin(2)
+        stack.run(until=2.5)
+        stack.processes[0].multicast("b", 2)
+        stack.run(until=3.0)
+        stack.drain_all()
+        assert check_all(stack.recorder, stack.relation) == []
+
+    def test_recorder_retires_incarnation(self):
+        stack = make_stack()
+        stack.run(until=0.5)
+        stack.drain_all()  # record the first incarnation's deliveries
+        stack.crash(2)
+        stack.run(until=1.0)
+        stack.rejoin(2)
+        stack.run(until=2.0)
+        stack.drain_all()
+        assert len(stack.recorder.retired) == 1
+        assert stack.recorder.retired[0].pid == 2
+        histories = stack.recorder.all_histories()
+        assert len(histories) == 4  # 3 live + 1 retired
+
+    def test_rejoin_without_recorded_history_retires_nothing(self):
+        """A crash before any recorded delivery leaves no incarnation to
+        retire; the rejoin must not invent an empty one."""
+        stack = make_stack()
+        stack.run(until=0.5)
+        stack.crash(2)
+        stack.run(until=1.0)
+        stack.rejoin(2)
+        stack.run(until=2.0)
+        assert stack.recorder.retired == []
+
+    def test_rejoin_before_crash_suspicion_fires(self):
+        """Recovering faster than fd_delay must not deadlock: the oracle
+        suspects a joining process outright, so t7 never waits on it."""
+        stack = make_stack(fd_delay=0.5)
+        stack.run(until=1.0)
+        stack.crash(2)
+        stack.run(until=1.01)  # well inside the 0.5s detection delay
+        stack.rejoin(2, retry=0.2)
+        stack.run(until=3.0)
+        assert not stack.processes[2].joining
+        assert stack.processes[2].cv.members == frozenset({0, 1, 2})
+        # Back among the living: the suspicion lifted after the join.
+        stack.run(until=4.0)
+        assert not stack.processes[0].fd.suspects(2)
+
+    def test_dead_via_sponsor_falls_back_to_live_one(self):
+        """A pinned sponsor that crashed must not wedge the rejoin.
+
+        Three of five members stay alive, so the view majority holds and
+        only the sponsor choice is under test.
+        """
+        stack = make_stack(n=5)
+        stack.run(until=0.5)
+        stack.crash(1)  # the sponsor we will pin
+        stack.crash(4)
+        stack.run(until=1.0)
+        stack.rejoin(4, via=1, retry=0.2)
+        stack.run(until=3.0)
+        assert not stack.processes[4].joining
+        assert 4 in stack.processes[0].cv.members
+
+    def test_heartbeat_fd_rejoin(self):
+        stack = make_stack(fd="heartbeat", fd_delay=0.05)
+        stack.run(until=0.5)
+        stack.crash(2)
+        stack.run(until=1.0)
+        stack.rejoin(2, retry=0.5)
+        stack.run(until=4.0)
+        assert stack.processes[2].cv.members == frozenset({0, 1, 2})
+        assert not stack.processes[2].joining
+        # Peers eventually unsuspect the resumed heartbeater.
+        stack.run(until=6.0)
+        assert not stack.processes[0].fd.suspects(2)
+
+
+class TestScenarioRejoin:
+    def test_recover_sugar_end_to_end(self):
+        result = (
+            Scenario()
+            .group(n=4, relation="item-tagging", consensus="oracle", seed=11)
+            .workload("game", rounds=200)
+            .consumers(rate=300)
+            .crash(pid=3, at=2.0)
+            .recover(pid=3, at=3.0)
+            .collect("throughput", "view_changes")
+            .run(until=8.0)
+        )
+        assert result.ok, result.violations
+        assert "3@0" in result.histories  # the retired incarnation
+        installs = result.metrics["view_changes"]["installs"]["3"]
+        assert [vid for vid, _t in installs] == [1]  # the join view
+
+    def test_consumer_restarts_after_rejoin(self):
+        live = (
+            Scenario()
+            .group(n=3, relation="item-tagging", consensus="oracle", seed=5)
+            .consumers(rate=500)
+            .crash(pid=2, at=1.0)
+            .recover(pid=2, at=2.0)
+            .workload("game", rounds=300)
+            .collect("throughput")
+            .build()
+        )
+        result = live.run(until=8.0, drain=False)
+        assert result.ok
+        # The rejoined member's consumer kept consuming after recovery.
+        consumer = live.consumers[2]
+        assert not consumer._dead
+        assert consumer.consumed > 0
+
+    def test_incarnation_keys_count_per_pid(self):
+        """Each pid's first retired incarnation is \"<pid>@0\" regardless
+        of how many other pids rejoined before it."""
+        result = (
+            Scenario()
+            .group(n=4, relation="item-tagging", consensus="oracle", seed=21)
+            .workload("game", rounds=200)
+            .consumers(rate=300)
+            .crash(pid=2, at=2.0)
+            .recover(pid=2, at=2.5)
+            .crash(pid=3, at=4.0)
+            .recover(pid=3, at=4.5)
+            .collect("view_changes")
+            .run(until=8.0)
+        )
+        assert result.ok, result.violations
+        assert "2@0" in result.histories
+        assert "3@0" in result.histories
+        assert "3@1" not in result.histories
+
+    def test_recover_validates_pid(self):
+        from repro.scenario import ScenarioError
+
+        with pytest.raises(ScenarioError):
+            Scenario().recover(pid=-1, at=1.0)
+
+    def test_rejoin_under_loss_retries_until_joined(self):
+        result = (
+            Scenario()
+            .group(
+                n=4,
+                relation="item-tagging",
+                consensus="oracle",
+                seed=13,
+                viewchange_retry=0.2,
+            )
+            .workload("game", rounds=200)
+            .consumers(rate=300)
+            .faults("lossy-links", loss=0.2, data_only=False)
+            .crash(pid=3, at=2.0)
+            .recover(pid=3, at=3.0, retry=0.3)
+            .check(checks=LOSSY_CHECKS)
+            .collect("view_changes")
+            .run(until=15.0)
+        )
+        assert result.ok, result.violations
+        installs = result.metrics["view_changes"]["installs"]["3"]
+        # It made it back despite 20% loss on every stream.
+        assert [vid for vid, _t in installs] == [1]
+        assert "3@0" in result.histories

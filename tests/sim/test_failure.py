@@ -1,11 +1,14 @@
 """Unit tests for fault and perturbation injection."""
 
+import math
+
 import pytest
 
 from repro.sim.failure import (
     CrashSchedule,
     Perturbation,
     PerturbationSchedule,
+    ScheduleError,
     periodic_perturbations,
 )
 from repro.sim.kernel import Simulator
@@ -47,6 +50,42 @@ class TestCrashSchedule:
         schedule = CrashSchedule(sim, [(1.0, a)])
         schedule.install()
         with pytest.raises(RuntimeError):
+            schedule.install()
+
+    def test_double_install_is_also_a_value_error(self):
+        """ScheduleError subclasses both, so either except clause works."""
+        sim = Simulator()
+        net = Network(sim)
+        schedule = CrashSchedule(sim, [(1.0, Dummy(0, sim, net))])
+        schedule.install()
+        with pytest.raises(ValueError):
+            schedule.install()
+
+    @pytest.mark.parametrize("bad_time", [-1.0, math.nan, math.inf, "soon"])
+    def test_invalid_times_rejected(self, bad_time):
+        sim = Simulator()
+        net = Network(sim)
+        schedule = CrashSchedule(sim, [(bad_time, Dummy(0, sim, net))])
+        with pytest.raises(ScheduleError):
+            schedule.install()
+
+    def test_invalid_times_leave_nothing_scheduled(self):
+        """Validation happens before any scheduling: a bad entry late in
+        the list must not half-install the schedule."""
+        sim = Simulator()
+        net = Network(sim)
+        a, b = Dummy(0, sim, net), Dummy(1, sim, net)
+        schedule = CrashSchedule(sim, [(1.0, a), (math.nan, b)])
+        with pytest.raises(ScheduleError):
+            schedule.install()
+        assert not schedule.installed
+        sim.run(until=2.0)
+        assert not a.crashed and not b.crashed
+
+    def test_target_without_crash_method_rejected(self):
+        sim = Simulator()
+        schedule = CrashSchedule(sim, [(1.0, object())])
+        with pytest.raises(ScheduleError, match="no crash"):
             schedule.install()
 
 
@@ -100,6 +139,23 @@ class TestPerturbationSchedule:
         schedule = PerturbationSchedule(sim, FakePausable(), [])
         schedule.install()
         with pytest.raises(RuntimeError):
+            schedule.install()
+
+    @pytest.mark.parametrize("bad_start", [-0.5, math.nan, math.inf])
+    def test_invalid_start_rejected(self, bad_start):
+        sim = Simulator()
+        schedule = PerturbationSchedule(
+            sim, FakePausable(), [Perturbation(bad_start, 1.0)]
+        )
+        with pytest.raises(ScheduleError):
+            schedule.install()
+
+    def test_nan_duration_rejected(self):
+        sim = Simulator()
+        schedule = PerturbationSchedule(
+            sim, FakePausable(), [Perturbation(1.0, math.nan)]
+        )
+        with pytest.raises(ScheduleError):
             schedule.install()
 
 

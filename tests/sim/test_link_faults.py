@@ -1,0 +1,205 @@
+"""Property suite for the lossy link layer (Hypothesis).
+
+The properties pinned here are the link layer's contract:
+
+* an installed policy with **no** loss/dup/reorder is byte-identical to
+  the untouched fast path;
+* the **degenerate rates**: loss=1 delivers nothing, loss=0 everything;
+* **partitions are symmetric** and healing restores delivery;
+* **FIFO per channel is preserved** whenever reordering is off, for any
+  loss/duplication rates and latency model.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network, UniformLatency
+from repro.sim.process import SimProcess
+
+
+class Sink(SimProcess):
+    """Records every delivery as (time, sender, payload)."""
+
+    def __init__(self, pid, sim, net):
+        super().__init__(pid, sim, net)
+        self.log = []
+
+    def on_message(self, sender, payload):
+        self.log.append((self.sim.now, sender, payload))
+
+
+def make_net(n=3, seed=0, uniform=False):
+    sim = Simulator(seed=seed)
+    net = Network(
+        sim,
+        UniformLatency(sim, 0.0005, 0.0035) if uniform else None,
+    )
+    sinks = [Sink(pid, sim, net) for pid in range(n)]
+    return sim, net, sinks
+
+
+#: A deterministic multi-edge send schedule: (src, dst, count) triples.
+schedules = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=1, max_value=8),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def run_schedule(schedule, *, seed=0, uniform=False, configure=None):
+    sim, net, sinks = make_net(seed=seed, uniform=uniform)
+    if configure is not None:
+        configure(net)
+    step = 0
+    for src, dst, count in schedule:
+        for _ in range(count):
+            sim.schedule_at(step * 0.001, net.send, src, dst, ("m", step))
+            step += 1
+    sim.run()
+    return net, [s.log for s in sinks]
+
+
+class TestZeroRatePolicyIsFastPath:
+    @given(schedule=schedules, seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_inert_policy_byte_identical(self, schedule, seed):
+        _net_a, logs_a = run_schedule(schedule, seed=seed, uniform=True)
+        _net_b, logs_b = run_schedule(
+            schedule,
+            seed=seed,
+            uniform=True,
+            configure=lambda net: net.set_link_fault(
+                loss=0.0, duplicate=0.0, reorder=0.0
+            ),
+        )
+        assert logs_a == logs_b
+
+    @given(schedule=schedules)
+    @settings(max_examples=20, deadline=None)
+    def test_inert_edge_policy_shadows_lossy_default(self, schedule):
+        """An explicit all-zero edge policy shields that edge from a
+        loss=1 default: its messages all arrive."""
+
+        def configure(net):
+            net.set_link_fault(loss=1.0)
+            net.set_link_fault(0, 1, loss=0.0)
+
+        net, logs = run_schedule(schedule, configure=configure)
+        sent_01 = sum(c for s, d, c in schedule if (s, d) == (0, 1))
+        assert len(logs[1]) == sum(
+            c for s, d, c in schedule if d == 1 and s == 0
+        ) == sent_01
+        assert net.channel_stats(0, 1).dropped == 0
+
+
+class TestDegenerateRates:
+    @given(schedule=schedules, seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_loss_one_delivers_nothing(self, schedule, seed):
+        net, logs = run_schedule(
+            schedule, seed=seed,
+            configure=lambda net: net.set_link_fault(loss=1.0),
+        )
+        assert all(log == [] for log in logs)
+        assert net.messages_dropped == net.messages_sent
+
+    @given(schedule=schedules, seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_loss_zero_delivers_everything(self, schedule, seed):
+        net, logs = run_schedule(
+            schedule, seed=seed,
+            configure=lambda net: net.set_link_fault(loss=0.0, duplicate=0.0),
+        )
+        assert net.messages_dropped == 0
+        assert sum(map(len, logs)) == net.messages_sent
+
+    @given(schedule=schedules, seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_duplicate_one_doubles_every_delivery(self, schedule, seed):
+        net, logs = run_schedule(
+            schedule, seed=seed,
+            configure=lambda net: net.set_link_fault(duplicate=1.0),
+        )
+        assert sum(map(len, logs)) == 2 * net.messages_sent
+        assert net.messages_duplicated == net.messages_sent
+
+
+class TestPartitions:
+    @given(schedule=schedules)
+    @settings(max_examples=20, deadline=None)
+    def test_partition_is_symmetric(self, schedule):
+        net, logs = run_schedule(
+            schedule,
+            configure=lambda net: net.partition({0}, {1, 2}),
+        )
+        for time, sender, payload in logs[0]:
+            assert sender == 0  # nothing crossed into side {0}
+        for pid in (1, 2):
+            for time, sender, payload in logs[pid]:
+                assert sender != 0  # and nothing crossed out of it
+
+    @given(schedule=schedules)
+    @settings(max_examples=20, deadline=None)
+    def test_heal_restores_delivery(self, schedule):
+        """After heal_all, a fresh batch of sends arrives everywhere."""
+        sim, net, sinks = make_net()
+        net.partition({0}, {1, 2})
+        net.heal_all()
+        step = 0
+        for src, dst, count in schedule:
+            for _ in range(count):
+                sim.schedule_at(step * 0.001, net.send, src, dst, ("m", step))
+                step += 1
+        sim.run()
+        assert net.messages_dropped == 0
+        assert sum(len(s.log) for s in sinks) == net.messages_sent
+
+
+class TestFifoWithoutReorder:
+    @given(
+        schedule=schedules,
+        seed=st.integers(min_value=0, max_value=2**32),
+        loss=st.floats(min_value=0.0, max_value=0.9),
+        duplicate=st.floats(min_value=0.0, max_value=0.9),
+        uniform=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_preserved_for_any_loss_and_duplication(
+        self, schedule, seed, loss, duplicate, uniform
+    ):
+        """With reorder=0, each channel's deliveries appear in send order
+        (duplicates allowed, gaps allowed — never inversions)."""
+        net, logs = run_schedule(
+            schedule, seed=seed, uniform=uniform,
+            configure=lambda net: net.set_link_fault(
+                loss=loss, duplicate=duplicate, reorder=0.0
+            ),
+        )
+        for pid, log in enumerate(logs):
+            last_per_channel = {}
+            for _time, sender, (_tag, step) in log:
+                prev = last_per_channel.get(sender)
+                assert prev is None or step >= prev, (
+                    f"channel ({sender}->{pid}) delivered step {step} "
+                    f"after {prev}"
+                )
+                last_per_channel[sender] = step
+
+    @given(seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=15, deadline=None)
+    def test_reorder_actually_reorders_sometimes(self, seed):
+        """Sanity: with reorder=1 and a wide spread, at least one
+        inversion shows up on a long constant-latency stream."""
+        sim, net, sinks = make_net(seed=seed)
+        net.set_link_fault(0, 1, reorder=1.0, reorder_spread=0.05)
+        for step in range(100):
+            sim.schedule_at(step * 0.001, net.send, 0, 1, step)
+        sim.run()
+        order = [payload for _t, _s, payload in sinks[1].log]
+        assert order != sorted(order)
+        assert sorted(order) == list(range(100))  # nothing lost, only moved
