@@ -39,6 +39,9 @@ Package layout:
   representations, purgeable buffers, the SVS protocol (Figure 1), and the
   executable specification.
 * :mod:`repro.sim` — discrete-event simulation substrate.
+* :mod:`repro.transport` — real-time substrate for live runs: asyncio
+  wall clock, loopback/UDP transport backends, wire framing, and the
+  sync/retransmission runtime (``Scenario.transport("loopback")``).
 * :mod:`repro.fd`, :mod:`repro.consensus` — failure detection and consensus
   building blocks.
 * :mod:`repro.gcs` — assembled group communication stack and endpoints.
@@ -106,6 +109,7 @@ from repro.registry import (
 )
 from repro.scenario import LiveScenario, Scenario, ScenarioError, ScenarioResult
 from repro.sim import LognormalLatency, Network, Simulator
+from repro.transport import transports
 from repro.sweep import (
     ScenarioSweep,
     Sweep,
@@ -184,6 +188,7 @@ __all__ = [
     "failure_detectors",
     "workloads",
     "fault_profiles",
+    "transports",
     # substrate
     "Simulator",
     "Network",

@@ -25,7 +25,7 @@ any change to this module.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 # Imported for their registry side-effects (the built-in backends register
 # themselves at import time) as well as for typing.
@@ -128,6 +128,17 @@ class GroupStack:
     re-validated — the fast path sweep cells use to build one stack per
     replicate seed (pass ``seed`` to override the context config's seed
     without re-deriving anything else).
+
+    ``sim`` and ``network`` inject an alternative substrate — a
+    :class:`~repro.transport.clock.WallClock` plus a
+    :class:`~repro.transport.network.TransportNetwork` for live runs; both
+    duck-type the simulated originals, so the assembly below (and the
+    protocol it assembles) is one code path for both worlds.  ``pids``
+    restricts which members this stack hosts locally (default: all of
+    ``range(n)``); a live UDP deployment builds one single-pid stack per
+    OS process.  Partial hosting needs per-process backends —
+    ``consensus="chandra-toueg"`` and ``fd="heartbeat"`` — because the
+    oracle variants share in-memory state across the whole group.
     """
 
     def __init__(
@@ -136,6 +147,9 @@ class GroupStack:
         config: Optional[StackConfig] = None,
         context: Optional["RunContext"] = None,
         seed: Optional[int] = None,
+        sim: Optional[Simulator] = None,
+        network: Optional[Network] = None,
+        pids: Optional[Iterable[ProcessId]] = None,
     ) -> None:
         if context is not None:
             self.config = context.config
@@ -154,8 +168,22 @@ class GroupStack:
         #: The seed this stack actually runs under (== ``config.seed``
         #: unless overridden for a replicate).
         self.seed = stack_seed
-        self.sim = Simulator(seed=stack_seed)
-        self.network = Network(self.sim, self._build_latency_model())
+        self.sim = sim if sim is not None else Simulator(seed=stack_seed)
+        if network is not None:
+            self.network = network
+        else:
+            self.network = Network(self.sim, self._build_latency_model())
+        if pids is None:
+            member_pids = list(range(self.config.n))
+        else:
+            member_pids = sorted(set(pids))
+            bad = [p for p in member_pids if not 0 <= p < self.config.n]
+            if bad:
+                raise ValueError(
+                    f"pids must lie in range({self.config.n}): {bad!r}"
+                )
+            if not member_pids:
+                raise ValueError("pids must name at least one local member")
         self.recorder = HistoryRecorder() if self.config.record_history else None
 
         # Consensus plugins may stash shared state here (the oracle hub does).
@@ -166,7 +194,7 @@ class GroupStack:
         fd_wiring = failure_detectors.create(self.config.fd, self)
 
         self.processes: Dict[ProcessId, SVSProcess] = {}
-        for pid in range(self.config.n):
+        for pid in member_pids:
             listeners = (
                 self.recorder.listeners() if self.recorder is not None else None
             )

@@ -18,7 +18,10 @@ of editing :mod:`repro.gcs.stack`:
 * :data:`workloads` — ``factory(**params) -> Trace``;
 * :data:`fault_profiles` — ``factory(**params) -> FaultPlan``: named,
   parameterised fault schedules (see :mod:`repro.faults`), usable from
-  ``Scenario.faults("partition-heal", ...)`` and as sweep axes.
+  ``Scenario.faults("partition-heal", ...)`` and as sweep axes;
+* :data:`transports` — ``factory(clock, **params) -> Transport``:
+  wall-clock transport backends (see :mod:`repro.transport`) behind
+  ``Scenario.transport("loopback"|"udp", ...)``.
 
 Registering is one decorator::
 
@@ -37,6 +40,7 @@ modules (:mod:`repro.sim.network`, :mod:`repro.core.obsolescence`,
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
@@ -50,6 +54,7 @@ __all__ = [
     "failure_detectors",
     "workloads",
     "fault_profiles",
+    "transports",
 ]
 
 
@@ -133,13 +138,23 @@ class Registry:
     # ------------------------------------------------------------------
 
     def get(self, name: str) -> Callable[..., Any]:
-        """Return the factory for ``name``; raise with the known names."""
+        """Return the factory for ``name``; raise with the known names and,
+        when one is close enough, a did-you-mean suggestion."""
         try:
             return self._factories[name]
         except KeyError:
             known = ", ".join(self.names()) or "<none>"
+            hint = ""
+            if isinstance(name, str) and self._factories:
+                # Match against every key (aliases included) so a typo of
+                # an alias still resolves to a useful suggestion.
+                close = difflib.get_close_matches(
+                    name, list(self._factories), n=1, cutoff=0.5
+                )
+                if close:
+                    hint = f"; did you mean {close[0]!r}?"
             raise RegistryError(
-                f"unknown {self.kind}: {name!r} (registered: {known})"
+                f"unknown {self.kind}: {name!r} (registered: {known}){hint}"
             ) from None
 
     def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
@@ -192,3 +207,4 @@ failure_detectors = Registry(
 )
 workloads = Registry("workload", "factory(**params) -> Trace")
 fault_profiles = Registry("fault profile", "factory(**params) -> FaultPlan")
+transports = Registry("transport", "factory(clock, **params) -> Transport")

@@ -30,6 +30,15 @@ triggers — :meth:`Scenario.build` returns a :class:`LiveScenario` exposing
 the wired ``stack``, ``endpoints``, ``consumers`` and ``sim`` before
 anything runs; :meth:`LiveScenario.run` then produces the same
 :class:`~repro.scenario.result.ScenarioResult`.
+
+A note on naming: :class:`LiveScenario` is the *built-but-not-yet-run
+session* — "live" as in "live objects you can poke", not as in wall-clock
+execution.  It exists for every scenario, simulated or not.  A *live
+transport run* is the separate, opt-in thing selected with
+:meth:`Scenario.transport`: the same wired session executed in real time
+over :mod:`repro.transport` (asyncio loopback or UDP) instead of the
+discrete-event kernel.  Either way, :meth:`LiveScenario.run` returns the
+same result shape and applies the same executable-specification checks.
 """
 
 from __future__ import annotations
@@ -159,6 +168,8 @@ class Scenario:
         self._histories: Optional[bool] = None
         self._listener_hooks: Dict[str, Callable[..., None]] = {}
         self._view_hooks: List[Callable[[int, View], None]] = []
+        self._transport: Optional[Tuple[str, Dict[str, Any]]] = None
+        self._runtime_params: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Group composition
@@ -206,6 +217,40 @@ class Scenario:
         ``"lognormal"``, or anything third parties registered)."""
         self._latency_model = model
         self._latency_params = dict(params)
+        return self
+
+    def transport(
+        self,
+        backend: str = "loopback",
+        runtime: Optional[Dict[str, Any]] = None,
+        **params: Any,
+    ) -> "Scenario":
+        """Execute this scenario *live*, in wall-clock time, over a
+        registered transport backend instead of the discrete-event kernel.
+
+        ``backend`` names an entry of :data:`repro.registry.transports` —
+        ``"loopback"`` (in-process asyncio fabric, optionally with emulated
+        latency/jitter/loss/duplication via ``params``) or ``"udp"`` (real
+        datagram sockets; pass ``n=...`` or an explicit ``peers`` map).
+        ``runtime`` tunes the liveness layer
+        (:class:`repro.transport.runtime.LiveRuntime`: sync beacon
+        interval/jitter, retransmission backoff, send-log bounds).
+
+        Everything else about the scenario — workloads, consumers, fault
+        plans, metrics, the executable-specification check — is unchanged;
+        :meth:`run`'s ``until`` simply becomes wall-clock seconds.  Live
+        runs keep the protocol's *safety* guarantees but are not
+        event-for-event reproducible; see ``docs/transport.md``.  Not
+        combinable with :meth:`latency` (link timing belongs to the
+        transport backend in a live run).
+        """
+        # Import here so simulation-only users never pay for (or depend
+        # on) the transport package; the import also registers backends.
+        from repro.transport import transports
+
+        transports.get(backend)  # fail fast on unknown names
+        self._transport = (backend, dict(params))
+        self._runtime_params = dict(runtime or {})
         return self
 
     # ------------------------------------------------------------------
@@ -521,11 +566,17 @@ def _chain_listener(
 
 
 class LiveScenario:
-    """A fully wired, not-yet-run scenario.
+    """A fully wired, not-yet-run scenario session.
 
-    Exposes the underlying ``stack``, ``sim``, ``endpoints`` (one per
-    consumer-equipped pid) and ``consumers`` for imperative access between
-    :meth:`Scenario.build` and :meth:`run`.
+    "Live" here means *live objects* — the wired ``stack``, ``sim``,
+    ``endpoints`` (one per consumer-equipped pid) and ``consumers`` are
+    exposed for imperative access between :meth:`Scenario.build` and
+    :meth:`run` — not wall-clock execution.  Wall-clock (*live transport*)
+    runs are requested with :meth:`Scenario.transport`; for those, this
+    object additionally exposes ``clock`` (the
+    :class:`~repro.transport.clock.WallClock` standing in for ``sim``),
+    ``transport``, ``network`` and ``runtime`` (all ``None`` on simulated
+    scenarios).
     """
 
     def __init__(self, spec: Scenario) -> None:
@@ -547,7 +598,45 @@ class LiveScenario:
             )
         except TypeError as exc:
             raise ScenarioError(f"invalid group configuration: {exc}") from None
-        if self._cacheable_relation is not None:
+        self.clock = None
+        self.transport = None
+        self.network = None
+        self.runtime = None
+        if spec._transport is not None:
+            if spec._latency_model is not None:
+                raise ScenarioError(
+                    "latency() models belong to the simulated network; in a "
+                    "live run, link timing is the transport backend's "
+                    "(e.g. transport('loopback', latency=..., jitter=...))"
+                )
+            from repro.transport import (
+                LiveRuntime,
+                TransportError,
+                TransportNetwork,
+                WallClock,
+                transports,
+            )
+
+            backend, params = spec._transport
+            self.clock = WallClock(seed=spec._seed)
+            try:
+                self.transport = transports.create(backend, self.clock, **params)
+            except (TypeError, ValueError, TransportError) as exc:
+                raise ScenarioError(
+                    f"invalid transport configuration for {backend!r}: {exc}"
+                ) from None
+            self.clock.add_runner(self.transport)
+            self.network = TransportNetwork(self.clock, self.transport)
+            # No RunContext caching here: a live stack binds sockets and
+            # timers to this one run, so nothing about it is reusable.
+            self.stack = GroupStack(
+                relation, config, sim=self.clock, network=self.network
+            )
+            self.runtime = LiveRuntime(
+                self.stack, self.network, **spec._runtime_params
+            )
+            self.runtime.start()
+        elif self._cacheable_relation is not None:
             # Registry-named relation + declarative config: reuse the
             # validated per-configuration RunContext (seeds vary per
             # replicate; the context does not).
@@ -784,6 +873,11 @@ class LiveScenario:
 
     def settle(self, quiet_time: float = 1.0, max_time: float = 120.0) -> None:
         """Run until the group goes quiet (see :meth:`GroupStack.settle`)."""
+        if self.spec._transport is not None:
+            raise ScenarioError(
+                "settle() needs the resumable discrete-event kernel; a live "
+                "transport run is one-shot — bound it with run(until=...)"
+            )
         self.stack.settle(quiet_time=quiet_time, max_time=max_time)
 
     def run(self, until: float, drain: bool = True) -> ScenarioResult:

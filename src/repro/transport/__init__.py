@@ -1,0 +1,76 @@
+"""Real-time transport backends and the wall-clock runtime.
+
+This package lets the *unchanged* protocol stack run in wall-clock time
+over pluggable datagram transports, instead of (not in place of — the
+simulator remains the primary instrument) virtual time:
+
+* :mod:`~repro.transport.clock` — :class:`WallClock`, a drop-in for the
+  scheduling surface of :class:`~repro.sim.kernel.Simulator` backed by an
+  asyncio event loop;
+* :mod:`~repro.transport.interface` — the :class:`Transport` contract and
+  the ``transports`` registry (``"loopback"``, ``"udp"``);
+* :mod:`~repro.transport.framing` — type-tagged JSON wire framing for
+  every protocol message (no pickle);
+* :mod:`~repro.transport.network` — :class:`TransportNetwork`, the live
+  counterpart of the simulated :class:`~repro.sim.network.Network`;
+* :mod:`~repro.transport.runtime` — :class:`LiveRuntime`: jittered sync
+  beacons, suppression, and retransmission with exponential backoff.
+
+Entry point for almost all uses: ``Scenario(...).transport("loopback")``
+(see :mod:`repro.scenario.builder`), which returns the same
+:class:`~repro.scenario.result.ScenarioResult` a simulated run produces.
+"""
+
+from repro.transport.clock import WallClock, WallClockHandle
+from repro.transport.framing import (
+    FramingError,
+    decode,
+    encode,
+    pack,
+    register_codec,
+    unpack,
+)
+from repro.transport.interface import (
+    Transport,
+    TransportError,
+    TransportStats,
+    transports,
+)
+from repro.transport.loopback import LoopbackTransport
+from repro.transport.network import TransportNetwork
+from repro.transport.runtime import (
+    SYNC_STREAM,
+    LiveRuntime,
+    RuntimeStats,
+    SyncMessage,
+    SyncScheduler,
+    jittered_interval,
+    next_backoff,
+)
+from repro.transport.udp import UdpTransport, default_peer_map
+
+__all__ = [
+    "WallClock",
+    "WallClockHandle",
+    "FramingError",
+    "encode",
+    "decode",
+    "pack",
+    "unpack",
+    "register_codec",
+    "Transport",
+    "TransportError",
+    "TransportStats",
+    "transports",
+    "LoopbackTransport",
+    "UdpTransport",
+    "default_peer_map",
+    "TransportNetwork",
+    "LiveRuntime",
+    "RuntimeStats",
+    "SyncMessage",
+    "SyncScheduler",
+    "SYNC_STREAM",
+    "jittered_interval",
+    "next_backoff",
+]

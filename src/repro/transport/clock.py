@@ -1,0 +1,263 @@
+"""Wall-clock scheduler: the :class:`~repro.sim.kernel.Simulator` surface
+re-implemented over an asyncio event loop.
+
+Every component of the stack — :class:`~repro.core.svs.SVSProcess`, the
+consensus instances, heartbeat failure detectors, rate-limited consumers,
+fault plans, the Scenario workload injector — interacts with time through
+exactly four operations: ``sim.now``, ``sim.schedule(delay, cb, *args)``,
+``sim.schedule_at(time, cb, *args)`` and ``sim.rng(name)``.
+:class:`WallClock` provides those same four operations backed by real time,
+so the *unchanged* protocol core runs live: no sim-vs-live fork exists
+anywhere in :mod:`repro.core` or :mod:`repro.gcs` — the only thing that
+changes between a kernel run and a live run is which clock object the stack
+is constructed with.
+
+Semantics that deliberately differ from the discrete-event kernel (the
+sim-vs-live contract, see ``docs/transport.md``):
+
+* time advances on its own — two runs of the same scenario are *not*
+  byte-identical; only the protocol's safety properties are preserved
+  (which is exactly what the loopback cross-check lane verifies);
+* the ``priority`` tie-break is accepted and ignored — wall-clock events
+  never tie exactly;
+* callbacks run on the event loop thread; an exception raised by any
+  callback aborts the run and re-raises from :meth:`run` instead of
+  vanishing into asyncio's default exception handler.
+
+Scheduling is permitted *before* the loop exists: the Scenario builder
+wires consumers, workload replay and fault plans at build time, long before
+``run()`` starts the loop.  Pre-start events are parked and armed when the
+loop comes up, preserving their intended absolute firing times (epoch 0 is
+the instant the loop starts).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.kernel import SimulationError, derive_stream_seed
+
+__all__ = ["WallClock", "WallClockHandle"]
+
+
+class WallClockHandle:
+    """Cancellable handle for one scheduled callback.
+
+    Mirrors the :class:`~repro.sim.kernel.EventHandle` surface the rest of
+    the stack relies on (``cancel()``, ``time``, ``cancelled``).
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled", "_timer")
+
+    def __init__(self, time: float, callback: Callable[..., None], args: Tuple[Any, ...]) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._timer: Optional[asyncio.TimerHandle] = None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return f"WallClockHandle(t={self.time:.6f}{state})"
+
+
+class WallClock:
+    """Drop-in ``sim`` replacement that schedules against real time.
+
+    ``seed`` feeds the same SHA-256 stream derivation the kernel uses
+    (:func:`~repro.sim.kernel.derive_stream_seed`), so protocol-level
+    random choices (jitter draws, emulated loss) are reproducible per seed
+    even though event *timing* is not.
+
+    ``runners`` are transport-like objects with ``async start()`` /
+    ``async close()``; they are started when the loop comes up and closed
+    when :meth:`run` finishes, so sockets live exactly as long as the run.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rngs: Dict[str, random.Random] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._epoch: Optional[float] = None
+        self._pending: List[WallClockHandle] = []
+        self._runners: List[Any] = []
+        self._errors: List[BaseException] = []
+        self._finished = False
+        self._events_processed = 0
+        #: Frozen clock value outside run(); live value inside.
+        self._now = 0.0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        if self._loop is not None and self._epoch is not None:
+            return self._loop.time() - self._epoch
+        return self._now
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # Randomness — identical derivation to the kernel
+    # ------------------------------------------------------------------
+
+    def rng(self, name: str = "default") -> random.Random:
+        gen = self._rngs.get(name)
+        if gen is None:
+            gen = random.Random(derive_stream_seed(self._seed, name))
+            self._rngs[name] = gen
+        return gen
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> WallClockHandle:
+        """Schedule ``callback(*args)`` ``delay`` seconds from now.
+
+        ``priority`` is accepted for kernel compatibility and ignored —
+        wall-clock firings never tie exactly.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        return self._schedule_abs(self.now + delay, callback, args)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> WallClockHandle:
+        """Schedule ``callback(*args)`` at an absolute run time (seconds
+        since the loop started)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, current time is {self.now!r}"
+            )
+        return self._schedule_abs(time, callback, args)
+
+    def cancel(self, handle: WallClockHandle) -> None:
+        handle.cancel()
+
+    def _schedule_abs(
+        self, time: float, callback: Callable[..., None], args: Tuple[Any, ...]
+    ) -> WallClockHandle:
+        handle = WallClockHandle(time, callback, args)
+        if self._loop is None:
+            self._pending.append(handle)
+        else:
+            self._arm(handle)
+        return handle
+
+    def _arm(self, handle: WallClockHandle) -> None:
+        assert self._loop is not None and self._epoch is not None
+        if handle.cancelled:
+            return
+        when = self._epoch + handle.time
+        handle._timer = self._loop.call_at(max(when, self._loop.time()), self._fire, handle)
+
+    def _fire(self, handle: WallClockHandle) -> None:
+        if handle.cancelled or self._finished:
+            return
+        handle._timer = None
+        self._events_processed += 1
+        try:
+            handle.callback(*handle.args)
+        except BaseException as exc:  # surface from run(), don't swallow
+            self._errors.append(exc)
+            loop = self._loop
+            if loop is not None:
+                for task in asyncio.all_tasks(loop):
+                    task.cancel()
+
+    # ------------------------------------------------------------------
+    # Runners (transports) and execution
+    # ------------------------------------------------------------------
+
+    def add_runner(self, runner: Any) -> None:
+        """Register an object with ``async start()``/``async close()`` to be
+        brought up with the loop and torn down at the end of the run."""
+        self._runners.append(runner)
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
+        """Run the event loop for ``until`` wall-clock seconds.
+
+        Matches the kernel's calling convention (``sim.run(until=...)``)
+        so callers — above all :meth:`LiveScenario.run
+        <repro.scenario.builder.LiveScenario.run>` — need no live branch.
+        ``max_events`` is a kernel-only knob and rejected here; a live run
+        is bounded by time, not event count.  One :class:`WallClock` backs
+        one run: sockets close with the loop, so a second call raises.
+        """
+        if until is None:
+            raise SimulationError("a wall-clock run needs an explicit `until`")
+        if max_events is not None:
+            raise SimulationError("max_events is not meaningful on a wall clock")
+        if self._finished:
+            raise SimulationError(
+                "this WallClock already ran; live runs are one-shot "
+                "(build a fresh scenario to run again)"
+            )
+        try:
+            asyncio.run(self._run_async(until))
+        finally:
+            self._finished = True
+            self._loop = None
+            self._epoch = None
+        if self._errors:
+            raise self._errors[0]
+
+    async def _run_async(self, until: float) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._epoch = self._loop.time() - self._now
+        try:
+            for runner in self._runners:
+                await runner.start()
+            pending, self._pending = self._pending, []
+            for handle in pending:
+                self._arm(handle)
+            try:
+                await asyncio.sleep(max(0.0, until - self.now))
+            except asyncio.CancelledError:
+                pass  # a callback error cancelled the sleep; re-raised by run()
+        finally:
+            self._now = max(self._loop.time() - self._epoch, until)
+            for runner in self._runners:
+                try:
+                    await runner.close()
+                except Exception as exc:  # pragma: no cover - teardown race
+                    if not self._errors:
+                        self._errors.append(exc)
+
+    def stop(self) -> None:
+        """Kernel-compat no-op surface: live runs end at their deadline."""
+        raise SimulationError("a wall-clock run cannot be stopped mid-flight")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "finished" if self._finished else "ready"
+        return f"WallClock(now={self.now:.3f}, {state})"

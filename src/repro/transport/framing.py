@@ -1,0 +1,264 @@
+"""Wire framing for live transports: every protocol message as a datagram.
+
+A frame is ``MAGIC (1 byte) | VERSION (1 byte) | sender pid (2 bytes,
+big-endian) | JSON body`` — one frame per datagram, no streaming, which is
+exactly the UDP model (and what the loopback transport emulates).
+
+The body is a *type-tagged* JSON encoding: no pickling, so a malformed or
+hostile datagram can at worst fail decoding, never execute code.  Every
+message type the stack puts on the wire has an explicit codec:
+
+* :mod:`repro.core.message` — ``DataMessage``, ``InitMessage``,
+  ``PredMessage``, ``WelcomeMessage``, ``ViewDelivery``, ``View``,
+  ``MessageId``, ``Envelope``;
+* consensus — ``Estimate``, ``Proposal``, ``Ack``, ``Nack``, ``Decide``;
+* failure detection — ``Heartbeat``;
+* stability tracking — ``StableMessage``;
+* workload replay — ``TraceMessage`` (payloads of the recorded game
+  traces), ``BatchAnnotation``-style plain containers;
+* plain data: ``None``, bools, numbers, strings, lists/tuples, dicts,
+  sets/frozensets.
+
+Application payloads must be built from those types; :func:`pack` raises
+``FramingError`` on anything else (by design — silently pickling arbitrary
+objects is how transports grow RCE holes).  Third parties can extend the
+codec with :func:`register_codec`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Tuple, Type
+
+from repro.consensus.chandra_toueg import Ack, Decide, Estimate, Nack, Proposal
+from repro.core.message import (
+    DataMessage,
+    Envelope,
+    InitMessage,
+    MessageId,
+    PredMessage,
+    View,
+    ViewDelivery,
+    WelcomeMessage,
+)
+from repro.fd.detector import Heartbeat
+from repro.gcs.stability import StableMessage
+from repro.workload.trace import MessageKind, TraceMessage
+
+__all__ = [
+    "FramingError",
+    "FRAME_MAGIC",
+    "FRAME_VERSION",
+    "register_codec",
+    "encode",
+    "decode",
+    "pack",
+    "unpack",
+]
+
+FRAME_MAGIC = 0xA5
+FRAME_VERSION = 1
+_HEADER_LEN = 4
+
+
+class FramingError(ValueError):
+    """An object that cannot be framed, or a frame that cannot be parsed."""
+
+
+# Tag -> (encode(obj) -> json value, decode(json value) -> obj).
+_CODECS: Dict[str, Tuple[Callable[[Any], Any], Callable[[Any], Any]]] = {}
+_TAGS: Dict[Type[Any], str] = {}
+
+
+def register_codec(
+    cls: Type[Any],
+    tag: str,
+    enc: Callable[[Any], Any],
+    dec: Callable[[Any], Any],
+) -> None:
+    """Register a wire codec for ``cls`` under ``tag``.
+
+    ``enc`` maps an instance to already-encoded JSON values; ``dec`` is its
+    inverse.  Registering an existing tag or class raises — codecs are a
+    wire contract, silently replacing one corrupts interop.
+    """
+    if tag in _CODECS:
+        raise FramingError(f"frame tag already registered: {tag!r}")
+    if cls in _TAGS:
+        raise FramingError(f"class already has a frame codec: {cls.__name__}")
+    _CODECS[tag] = (enc, dec)
+    _TAGS[cls] = tag
+
+
+def encode(obj: Any) -> Any:
+    """Recursively encode ``obj`` into JSON-safe, type-tagged values."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    cls = type(obj)
+    tag = _TAGS.get(cls)
+    if tag is not None:
+        enc, _dec = _CODECS[tag]
+        return {"!": tag, "v": enc(obj)}
+    if cls is list:
+        return [encode(item) for item in obj]
+    if cls is tuple:
+        return {"!": "tuple", "v": [encode(item) for item in obj]}
+    if cls in (set, frozenset):
+        # Sorted so the wire form is stable (and diffable in captures).
+        return {
+            "!": "set" if cls is set else "frozenset",
+            "v": sorted((encode(item) for item in obj), key=repr),
+        }
+    if cls is dict:
+        items = [[encode(k), encode(v)] for k, v in obj.items()]
+        return {"!": "dict", "v": items}
+    raise FramingError(
+        f"no wire codec for {cls.__name__}; live payloads must use framed "
+        f"types (register one with repro.transport.framing.register_codec)"
+    )
+
+
+def decode(value: Any) -> Any:
+    """Inverse of :func:`encode`."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [decode(item) for item in value]
+    if isinstance(value, dict):
+        tag = value.get("!")
+        body = value.get("v")
+        if tag == "tuple":
+            return tuple(decode(item) for item in body)
+        if tag == "set":
+            return set(decode(item) for item in body)
+        if tag == "frozenset":
+            return frozenset(decode(item) for item in body)
+        if tag == "dict":
+            return {decode(k): decode(v) for k, v in body}
+        codec = _CODECS.get(tag)
+        if codec is None:
+            raise FramingError(f"unknown frame tag: {tag!r}")
+        return codec[1](body)
+    raise FramingError(f"undecodable frame value: {value!r}")
+
+
+def pack(sender: int, obj: Any) -> bytes:
+    """Frame ``obj`` (normally an :class:`Envelope`) from ``sender``."""
+    if not (0 <= sender < 1 << 16):
+        raise FramingError(f"sender pid out of frame range: {sender!r}")
+    body = json.dumps(encode(obj), separators=(",", ":")).encode("utf-8")
+    return bytes((FRAME_MAGIC, FRAME_VERSION)) + sender.to_bytes(2, "big") + body
+
+
+def unpack(data: bytes) -> Tuple[int, Any]:
+    """Parse one frame; returns ``(sender pid, object)``."""
+    if len(data) < _HEADER_LEN:
+        raise FramingError(f"short frame: {len(data)} bytes")
+    if data[0] != FRAME_MAGIC:
+        raise FramingError(f"bad frame magic: {data[0]:#x}")
+    if data[1] != FRAME_VERSION:
+        raise FramingError(f"unsupported frame version: {data[1]}")
+    sender = int.from_bytes(data[2:4], "big")
+    try:
+        body = json.loads(data[_HEADER_LEN:].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FramingError(f"unparseable frame body: {exc}") from None
+    return sender, decode(body)
+
+
+# ----------------------------------------------------------------------
+# Built-in codecs
+# ----------------------------------------------------------------------
+
+register_codec(
+    MessageId,
+    "mid",
+    lambda m: [m.sender, m.sn],
+    lambda v: MessageId(v[0], v[1]),
+)
+register_codec(
+    View,
+    "view",
+    lambda view: [view.vid, sorted(view.members)],
+    lambda v: View(v[0], frozenset(v[1])),
+)
+register_codec(
+    DataMessage,
+    "data",
+    lambda m: [
+        encode(m.mid),
+        m.view_id,
+        encode(m.payload),
+        encode(m.annotation),
+    ],
+    lambda v: DataMessage(
+        mid=decode(v[0]), view_id=v[1], payload=decode(v[2]), annotation=decode(v[3])
+    ),
+)
+register_codec(
+    ViewDelivery,
+    "viewdel",
+    lambda m: encode(m.view),
+    lambda v: ViewDelivery(decode(v)),
+)
+register_codec(
+    InitMessage,
+    "init",
+    lambda m: [m.view_id, sorted(m.leave), sorted(m.join)],
+    lambda v: InitMessage(v[0], frozenset(v[1]), frozenset(v[2])),
+)
+register_codec(
+    PredMessage,
+    "pred",
+    lambda m: [m.view_id, [encode(d) for d in m.messages]],
+    lambda v: PredMessage(v[0], tuple(decode(d) for d in v[1])),
+)
+register_codec(
+    WelcomeMessage,
+    "welcome",
+    lambda m: encode(m.view),
+    lambda v: WelcomeMessage(decode(v)),
+)
+register_codec(
+    Envelope,
+    "env",
+    lambda e: [e.stream, encode(e.body), encode(e.instance)],
+    lambda v: Envelope(stream=v[0], body=decode(v[1]), instance=decode(v[2])),
+)
+
+# Consensus (Chandra–Toueg) — values are (View, flush tuple) pairs, fully
+# covered by the container + message codecs above.
+register_codec(
+    Estimate,
+    "ct.est",
+    lambda m: [m.round, encode(m.value), m.ts],
+    lambda v: Estimate(v[0], decode(v[1]), v[2]),
+)
+register_codec(
+    Proposal,
+    "ct.prop",
+    lambda m: [m.round, encode(m.value)],
+    lambda v: Proposal(v[0], decode(v[1])),
+)
+register_codec(Ack, "ct.ack", lambda m: m.round, lambda v: Ack(v))
+register_codec(Nack, "ct.nack", lambda m: m.round, lambda v: Nack(v))
+register_codec(
+    Decide, "ct.dec", lambda m: encode(m.value), lambda v: Decide(decode(v))
+)
+
+# Failure detection and stability gossip.
+register_codec(Heartbeat, "fd.hb", lambda m: m.epoch, lambda v: Heartbeat(v))
+register_codec(
+    StableMessage,
+    "stable",
+    lambda m: [m.view_id, [[k, v] for k, v in sorted(dict(m.watermarks).items())]],
+    lambda v: StableMessage(v[0], {k: sn for k, sn in v[1]}),
+)
+
+# Workload replay payloads (the recorded game traces).
+register_codec(
+    TraceMessage,
+    "tracemsg",
+    lambda m: [m.index, m.round, m.time, m.item, m.kind.value],
+    lambda v: TraceMessage(v[0], v[1], v[2], v[3], MessageKind(v[4])),
+)

@@ -1,0 +1,103 @@
+"""The pluggable transport contract behind live runs.
+
+A :class:`Transport` moves opaque datagrams between group members in real
+time.  It knows nothing about the protocol: framing happens above it (in
+:class:`~repro.transport.network.TransportNetwork`), semantics above that
+(the unchanged :class:`~repro.core.svs.SVSProcess`).
+
+Lifecycle: ``bind`` local pids while wiring the stack, then the owning
+:class:`~repro.transport.clock.WallClock` calls ``await start()`` when its
+loop comes up and ``await close()`` when the run ends.
+
+Backends register in :data:`repro.registry.transports` under a name
+(``"loopback"``, ``"udp"``) with the contract
+``factory(clock, **params) -> Transport``, which makes them reachable from
+``Scenario.transport("loopback", ...)`` exactly like latency models or
+fault profiles are reachable from their builder methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.registry import transports
+from repro.sim.process import ProcessId
+
+__all__ = ["Transport", "TransportError", "TransportStats", "transports"]
+
+
+class TransportError(RuntimeError):
+    """Misuse of a transport (unknown peer, double bind, closed send)."""
+
+
+@dataclass
+class TransportStats:
+    """Datagram counters every backend maintains."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    queue_overflows: int = 0
+
+
+DatagramHandler = Callable[[ProcessId, bytes], None]
+"""Receive callback: ``handler(local_pid, frame_bytes)``."""
+
+
+class Transport:
+    """Base class for wall-clock transport backends."""
+
+    def __init__(self) -> None:
+        self.stats = TransportStats()
+        self._handlers: Dict[ProcessId, DatagramHandler] = {}
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def bind(self, pid: ProcessId, handler: DatagramHandler) -> None:
+        """Attach a local endpoint: frames addressed to ``pid`` are handed
+        to ``handler(pid, data)`` on the event loop."""
+        if pid in self._handlers:
+            raise TransportError(f"pid {pid} already bound")
+        if self._started:
+            raise TransportError("cannot bind after the transport started")
+        self._handlers[pid] = handler
+
+    @property
+    def local_pids(self) -> Dict[ProcessId, DatagramHandler]:
+        return dict(self._handlers)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (driven by WallClock)
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._started = True
+
+    async def close(self) -> None:
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # Datagrams
+    # ------------------------------------------------------------------
+
+    def send(self, src: ProcessId, dst: ProcessId, data: bytes) -> None:
+        """Best-effort, non-blocking send of one frame.
+
+        Datagram semantics: a frame may be lost (backend loss emulation,
+        UDP itself, queue overflow) but is never corrupted or split.
+        """
+        raise NotImplementedError
+
+    def _dispatch(self, dst: ProcessId, data: bytes) -> None:
+        """Deliver a frame to a locally bound pid (backend helper)."""
+        handler = self._handlers.get(dst)
+        if handler is None:
+            return  # late datagram for a pid bound elsewhere; drop
+        self.stats.delivered += 1
+        handler(dst, data)

@@ -1,0 +1,261 @@
+"""The live counterpart of :class:`repro.sim.network.Network`.
+
+:class:`TransportNetwork` presents the exact surface the stack wires
+against — ``attach``, ``send``, the message counters, and the fault API
+consumed by :class:`~repro.faults.plan.FaultPlan` (``cut``/``heal``/
+``partition``/``set_link_fault``) — but moves every message as a framed
+datagram over a pluggable :class:`~repro.transport.interface.Transport`.
+Because :class:`~repro.core.svs.SVSProcess` only ever calls
+``network.send``, swapping this in for the simulated network requires no
+protocol change whatsoever.
+
+Emulated link faults reuse the *same* :class:`~repro.sim.network.LinkFaultPolicy`
+dataclass and most-specific-first resolution as the kernel network, with
+draws from seeded ``faults.<src>.<dst>`` RNG streams — so a fault profile
+written for simulation (``Scenario.faults("lossy-links")``) applies to a
+live loopback run unmodified.
+
+The network also exposes two integration points the wall-clock runtime
+uses without touching the protocol:
+
+* **send/receive observers** — called for every outgoing and every
+  delivered (src, dst, envelope); the runtime's retransmitter and
+  state-vector tracker subscribe here;
+* **stream handlers** — transport-layer control streams (the sync
+  beacons) are consumed at delivery time and never reach the processes,
+  keeping :meth:`SVSProcess.on_message` oblivious to the live plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.message import Envelope
+from repro.sim.network import ChannelStats, LinkFaultPolicy
+from repro.sim.process import ProcessId, SimProcess
+from repro.transport.clock import WallClock
+from repro.transport.framing import FramingError, pack, unpack
+from repro.transport.interface import Transport
+
+__all__ = ["TransportNetwork"]
+
+SendObserver = Callable[[ProcessId, ProcessId, Any], None]
+StreamHandler = Callable[[ProcessId, ProcessId, Any], None]
+
+
+class TransportNetwork:
+    """Frame-and-forward network over a live transport backend."""
+
+    def __init__(self, clock: WallClock, transport: Transport) -> None:
+        self.sim = clock  # the name the Network surface uses
+        self.clock = clock
+        self.transport = transport
+        self._procs: Dict[ProcessId, SimProcess] = {}
+        self._stats: Dict[Tuple[ProcessId, ProcessId], ChannelStats] = {}
+        self._send_observers: List[SendObserver] = []
+        self._receive_observers: List[SendObserver] = []
+        self._stream_handlers: Dict[str, StreamHandler] = {}
+        # Fault API state — mirrors repro.sim.network.Network.
+        self._cut: Set[Tuple[ProcessId, ProcessId]] = set()
+        self._link_faults: Dict[
+            Tuple[Optional[ProcessId], Optional[ProcessId]], LinkFaultPolicy
+        ] = {}
+        self._policy_cache: Dict[
+            Tuple[ProcessId, ProcessId], Optional[LinkFaultPolicy]
+        ] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.messages_reordered = 0
+        #: Frames that failed to decode (malformed/foreign datagrams).
+        self.decode_errors = 0
+        self.last_decode_error: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def attach(self, proc: SimProcess) -> None:
+        if proc.pid in self._procs:
+            raise ValueError(f"pid {proc.pid} already attached")
+        self._procs[proc.pid] = proc
+        self.transport.bind(proc.pid, self._on_datagram)
+
+    def process(self, pid: ProcessId) -> SimProcess:
+        return self._procs[pid]
+
+    @property
+    def pids(self) -> List[ProcessId]:
+        return sorted(self._procs)
+
+    # ------------------------------------------------------------------
+    # Runtime integration
+    # ------------------------------------------------------------------
+
+    def add_send_observer(self, observer: SendObserver) -> None:
+        self._send_observers.append(observer)
+
+    def add_receive_observer(self, observer: SendObserver) -> None:
+        self._receive_observers.append(observer)
+
+    def register_stream(self, stream: str, handler: StreamHandler) -> None:
+        """Consume envelopes of ``stream`` at the network layer; they are
+        never delivered to the destination process."""
+        if stream in self._stream_handlers:
+            raise ValueError(f"stream already registered: {stream!r}")
+        self._stream_handlers[stream] = handler
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, src: ProcessId, dst: ProcessId, payload: Any) -> None:
+        channel = (src, dst)
+        stats = self._stats.get(channel)
+        if stats is None:
+            stats = self._stats[channel] = ChannelStats()
+        stats.sent += 1
+        self.messages_sent += 1
+        for observer in self._send_observers:
+            observer(src, dst, payload)
+
+        if self._cut and channel in self._cut:
+            stats.dropped += 1
+            self.messages_dropped += 1
+            return
+        # Emulated lossy links — the same policies, resolution order and
+        # per-edge RNG streams as the simulated network.
+        policy = None
+        if self._link_faults:
+            policy = self._resolve_policy(channel)
+            if policy is not None and (
+                policy.inert
+                or (policy.filter is not None and not policy.filter(payload))
+            ):
+                policy = None
+        duplicated = False
+        if policy is not None:
+            rng = self.clock.rng(f"faults.{src}.{dst}")
+            if policy.loss and rng.random() < policy.loss:
+                stats.dropped += 1
+                self.messages_dropped += 1
+                return
+            duplicated = bool(policy.duplicate) and rng.random() < policy.duplicate
+            # ``reorder`` is not re-emulated here: a live transport (UDP,
+            # jittered loopback) reorders on its own terms.
+
+        data = pack(src, payload)
+        self.transport.send(src, dst, data)
+        if duplicated:
+            stats.duplicated += 1
+            self.messages_duplicated += 1
+            self.transport.send(src, dst, data)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+
+    def _on_datagram(self, dst: ProcessId, data: bytes) -> None:
+        try:
+            src, payload = unpack(data)
+        except FramingError as exc:
+            self.decode_errors += 1
+            self.last_decode_error = str(exc)
+            return
+        if isinstance(payload, Envelope):
+            handler = self._stream_handlers.get(payload.stream)
+            if handler is not None:
+                handler(src, dst, payload.body)
+                return
+        proc = self._procs.get(dst)
+        if proc is None:
+            return
+        self._stats.setdefault((src, dst), ChannelStats()).delivered += 1
+        self.messages_delivered += 1
+        for observer in self._receive_observers:
+            observer(src, dst, payload)
+        proc._deliver(src, payload)
+
+    # ------------------------------------------------------------------
+    # Fault API (FaultPlan compatibility)
+    # ------------------------------------------------------------------
+
+    def cut(self, a: ProcessId, b: ProcessId, bidirectional: bool = True) -> None:
+        self._cut.add((a, b))
+        if bidirectional:
+            self._cut.add((b, a))
+
+    def heal(self, a: ProcessId, b: ProcessId, bidirectional: bool = True) -> None:
+        self._cut.discard((a, b))
+        if bidirectional:
+            self._cut.discard((b, a))
+
+    def partition(self, side_a: Set[ProcessId], side_b: Set[ProcessId]) -> None:
+        for a in side_a:
+            for b in side_b:
+                self.cut(a, b)
+
+    def heal_all(self) -> None:
+        self._cut.clear()
+
+    def set_link_fault(
+        self,
+        src: Optional[ProcessId] = None,
+        dst: Optional[ProcessId] = None,
+        *,
+        loss: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        reorder_spread: float = 0.004,
+        filter: Optional[Callable[[Any], bool]] = None,
+    ) -> None:
+        self._link_faults[(src, dst)] = LinkFaultPolicy(
+            loss=loss,
+            duplicate=duplicate,
+            reorder=reorder,
+            reorder_spread=reorder_spread,
+            filter=filter,
+        )
+        self._policy_cache.clear()
+
+    def clear_link_fault(
+        self, src: Optional[ProcessId] = None, dst: Optional[ProcessId] = None
+    ) -> None:
+        self._link_faults.pop((src, dst), None)
+        self._policy_cache.clear()
+
+    def clear_link_faults(self) -> None:
+        self._link_faults.clear()
+        self._policy_cache.clear()
+
+    def _resolve_policy(
+        self, channel: Tuple[ProcessId, ProcessId]
+    ) -> Optional[LinkFaultPolicy]:
+        try:
+            return self._policy_cache[channel]
+        except KeyError:
+            pass
+        src, dst = channel
+        faults = self._link_faults
+        policy = (
+            faults.get((src, dst))
+            or faults.get((src, None))
+            or faults.get((None, dst))
+            or faults.get((None, None))
+        )
+        self._policy_cache[channel] = policy
+        return policy
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def channel_stats(self, src: ProcessId, dst: ProcessId) -> ChannelStats:
+        return self._stats.setdefault((src, dst), ChannelStats())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TransportNetwork(procs={len(self._procs)}, "
+            f"sent={self.messages_sent}, delivered={self.messages_delivered})"
+        )

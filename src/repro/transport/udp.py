@@ -1,0 +1,177 @@
+"""Real UDP datagram transport over asyncio sockets.
+
+Each locally hosted pid gets its own datagram socket bound to its address
+from the peer map, so a single OS process can host one member (the
+multi-process deployment of ``examples/live_udp.py``) or every member
+(`Scenario.transport("udp")`, where frames still cross the kernel's UDP
+stack on localhost).  Sends are staged through **bounded per-channel
+queues**: a burst larger than ``queue_limit`` frames drops the newest
+frames (counted in ``stats.queue_overflows``) instead of buffering without
+bound — on a datagram transport, late is worse than lost, because the
+protocol's own sync/retransmission layer recovers losses anyway.
+
+The peer map names every group member's address up front; live membership
+is the protocol's business (views), not the transport's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple, Union
+
+from repro.sim.process import ProcessId
+from repro.transport.clock import WallClock
+from repro.transport.interface import Transport, TransportError, transports
+
+__all__ = ["UdpTransport", "default_peer_map"]
+
+Address = Tuple[str, int]
+
+
+def default_peer_map(
+    n: int, host: str = "127.0.0.1", base_port: int = 47000
+) -> Dict[ProcessId, Address]:
+    """Convenience peer map: pid ``k`` at ``(host, base_port + k)``."""
+    return {pid: (host, base_port + pid) for pid in range(n)}
+
+
+class _PidProtocol(asyncio.DatagramProtocol):
+    """Receives datagrams for one bound pid."""
+
+    def __init__(self, transport: "UdpTransport", pid: ProcessId) -> None:
+        self._owner = transport
+        self._pid = pid
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        self._owner._dispatch(self._pid, data)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+        # ICMP errors (peer not up yet) are expected during staggered
+        # starts; the sync layer retransmits, so they are not fatal.
+        pass
+
+
+class UdpTransport(Transport):
+    """Per-peer UDP sockets with bounded send queues.
+
+    Parameters
+    ----------
+    clock:
+        Owning wall clock (lifecycle only; UDP draws no randomness).
+    peers:
+        ``{pid: (host, port)}`` (or ``{pid: port}``, with ``host``) for
+        every group member, local and remote alike.
+    queue_limit:
+        Maximum frames staged per ordered channel between event-loop
+        flushes; the newest frames of an overflowing burst are dropped.
+    """
+
+    def __init__(
+        self,
+        clock: WallClock,
+        peers: Dict[ProcessId, Union[int, Address]],
+        host: str = "127.0.0.1",
+        queue_limit: int = 256,
+    ) -> None:
+        super().__init__()
+        if not peers:
+            raise TransportError("UDP transport needs a non-empty peer map")
+        if queue_limit < 1:
+            raise TransportError(f"queue_limit must be >= 1: {queue_limit!r}")
+        self._clock = clock
+        self.queue_limit = queue_limit
+        self.peers: Dict[ProcessId, Address] = {
+            pid: (addr if isinstance(addr, tuple) else (host, addr))
+            for pid, addr in peers.items()
+        }
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._sockets: Dict[ProcessId, asyncio.DatagramTransport] = {}
+        self._queues: Dict[Tuple[ProcessId, ProcessId], Deque[bytes]] = {}
+        self._flush_scheduled: set = set()
+
+    def bind(self, pid: ProcessId, handler) -> None:
+        if pid not in self.peers:
+            raise TransportError(f"pid {pid} is not in the peer map")
+        super().bind(pid, handler)
+
+    async def start(self) -> None:
+        await super().start()
+        self._loop = asyncio.get_running_loop()
+        for pid in sorted(self._handlers):
+            transport, _protocol = await self._loop.create_datagram_endpoint(
+                lambda pid=pid: _PidProtocol(self, pid),
+                local_addr=self.peers[pid],
+            )
+            self._sockets[pid] = transport
+
+    async def close(self) -> None:
+        await super().close()
+        for sock in self._sockets.values():
+            sock.close()
+        self._sockets.clear()
+        self._queues.clear()
+        self._loop = None
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, src: ProcessId, dst: ProcessId, data: bytes) -> None:
+        if self._closed or self._loop is None:
+            return
+        if dst not in self.peers:
+            return  # address unknown: the datagram just disappears
+        channel = (src, dst)
+        queue = self._queues.get(channel)
+        if queue is None:
+            queue = self._queues[channel] = deque()
+        if len(queue) >= self.queue_limit:
+            self.stats.queue_overflows += 1
+            self.stats.dropped += 1
+            return
+        queue.append(data)
+        self.stats.sent += 1
+        if channel not in self._flush_scheduled:
+            self._flush_scheduled.add(channel)
+            self._loop.call_soon(self._flush, channel)
+
+    def _flush(self, channel: Tuple[ProcessId, ProcessId]) -> None:
+        self._flush_scheduled.discard(channel)
+        if self._closed:
+            return
+        src, dst = channel
+        sock = self._sockets.get(src)
+        queue = self._queues.get(channel)
+        if queue is None:
+            return
+        if sock is None:
+            # Remote-hosted src cannot happen (we only queue local sends);
+            # a not-yet-started socket can: retry after startup.
+            if self._loop is not None and not self._started:
+                self._flush_scheduled.add(channel)
+                self._loop.call_later(0.01, self._flush, channel)
+            return
+        addr = self.peers[dst]
+        while queue:
+            sock.sendto(queue.popleft(), addr)
+
+
+@transports.register("udp")
+def _udp_transport(
+    clock: WallClock,
+    peers: Optional[Dict[ProcessId, Union[int, Address]]] = None,
+    n: Optional[int] = None,
+    host: str = "127.0.0.1",
+    base_port: int = 47000,
+    queue_limit: int = 256,
+) -> UdpTransport:
+    """Registry factory: explicit ``peers`` map, or ``n`` members laid out
+    on consecutive localhost ports from ``base_port``."""
+    if peers is None:
+        if n is None:
+            raise TransportError(
+                "udp transport needs peers={pid: (host, port)} or n=<members>"
+            )
+        peers = default_peer_map(n, host=host, base_port=base_port)
+    return UdpTransport(clock, peers, host=host, queue_limit=queue_limit)

@@ -45,6 +45,7 @@ class TestMkdocsConfig:
         assert "kernel.md" in files
         assert "index.md" in files
         assert "faults.md" in files
+        assert "transport.md" in files
 
 
 class TestInternalLinks:
@@ -137,6 +138,52 @@ class TestFaultsDocMatchesCode:
         assert "LOSSY_CHECKS" in text
         for name in LOSSY_CHECKS:
             assert name in CHECKS
+
+
+class TestTransportDocMatchesCode:
+    def test_every_backend_documented(self):
+        """A new transport backend cannot land without a mention in
+        docs/transport.md."""
+        import repro.transport  # noqa: F401  (registers the backends)
+        from repro.registry import transports
+
+        text = (DOCS / "transport.md").read_text()
+        missing = [n for n in transports.names() if f"`{n}`" not in text]
+        assert not missing, f"docs/transport.md misses backends: {missing}"
+
+    def test_documented_runtime_defaults_match(self):
+        """transport.md quotes the sync defaults; keep them honest."""
+        import inspect
+
+        from repro.transport.runtime import LiveRuntime
+
+        sig = inspect.signature(LiveRuntime.__init__)
+        assert sig.parameters["sync_interval"].default == 0.05
+        assert sig.parameters["sync_jitter"].default == 0.1
+        text = (DOCS / "transport.md").read_text()
+        assert "50 ms" in text
+        assert "10%" in text
+
+    def test_documented_check_tiers_are_real(self):
+        from repro.core.spec import CHECKS, DEFAULT_CHECKS, LOSSY_CHECKS
+
+        text = (DOCS / "transport.md").read_text()
+        for tier in (DEFAULT_CHECKS, LOSSY_CHECKS):
+            for name in tier:
+                assert name in CHECKS
+                assert f"`{name}`" in text, (
+                    f"docs/transport.md misses check {name}"
+                )
+
+    def test_architecture_map_cites_transport(self):
+        text = (DOCS / "architecture.md").read_text()
+        assert "`repro.transport`" in text
+
+    def test_cited_examples_exist(self):
+        text = (DOCS / "transport.md").read_text()
+        for example in ("live_loopback.py", "live_udp.py"):
+            assert f"examples/{example}" in text
+            assert (REPO / "examples" / example).is_file()
 
 
 class TestKernelDocMatchesCode:

@@ -169,3 +169,50 @@ class TestThirdPartyRegistration:
             assert isinstance(stack.relation, ItemTagging)
         finally:
             relations.unregister("test-tagging")
+
+
+class TestTypoSuggestions:
+    def test_close_typo_gets_a_suggestion(self):
+        reg = Registry("widget")
+        reg.register("loopback", lambda: None)
+        reg.register("udp", lambda: None)
+        with pytest.raises(RegistryError, match="did you mean 'loopback'"):
+            reg.get("loopbak")
+
+    def test_suggestion_covers_aliases(self):
+        reg = Registry("widget")
+        reg.register("chandra-toueg", lambda: None, aliases=["ct"])
+        with pytest.raises(RegistryError, match="did you mean 'chandra-toueg'"):
+            reg.get("chandra-tueg")
+
+    def test_no_suggestion_when_nothing_is_close(self):
+        reg = Registry("widget")
+        reg.register("loopback", lambda: None)
+        with pytest.raises(RegistryError) as exc:
+            reg.get("zzzzzz")
+        assert "did you mean" not in str(exc.value)
+        assert "registered: loopback" in str(exc.value)
+
+    def test_builtin_registries_suggest(self):
+        with pytest.raises(RegistryError, match="did you mean 'item-tagging'"):
+            relations.get("item-taging")
+        with pytest.raises(RegistryError, match="did you mean 'heartbeat'"):
+            failure_detectors.get("heartbeet")
+
+
+class TestTransportRegistry:
+    def test_backends_registered_on_import(self):
+        import repro.transport  # noqa: F401  (registration side effect)
+
+        from repro.registry import transports
+
+        assert "loopback" in transports.names()
+        assert "udp" in transports.names()
+
+    def test_transport_typo_suggests(self):
+        import repro.transport  # noqa: F401
+
+        from repro.registry import transports
+
+        with pytest.raises(RegistryError, match="did you mean 'udp'"):
+            transports.get("upd")

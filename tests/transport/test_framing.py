@@ -1,0 +1,158 @@
+"""Wire-framing round-trips for every message type the stack sends."""
+
+import pytest
+
+from repro.consensus.chandra_toueg import Ack, Decide, Estimate, Nack, Proposal
+from repro.core.message import (
+    DataMessage,
+    Envelope,
+    InitMessage,
+    MessageId,
+    PredMessage,
+    View,
+    ViewDelivery,
+    WelcomeMessage,
+)
+from repro.fd.detector import Heartbeat
+from repro.gcs.stability import StableMessage
+from repro.transport.framing import (
+    FRAME_MAGIC,
+    FRAME_VERSION,
+    FramingError,
+    decode,
+    encode,
+    pack,
+    register_codec,
+    unpack,
+)
+from repro.workload.trace import MessageKind, TraceMessage
+
+from tests.conftest import make_data
+
+
+def roundtrip(obj, sender=0):
+    got_sender, got = unpack(pack(sender, obj))
+    assert got_sender == sender
+    return got
+
+
+VIEW = View(3, frozenset({0, 1, 2}))
+DATA = DataMessage(
+    mid=MessageId(1, 7), view_id=3, payload="state", annotation=("item", 4)
+)
+
+#: One exemplar per message type that can cross the wire.
+WIRE_MESSAGES = [
+    MessageId(2, 9),
+    VIEW,
+    DATA,
+    ViewDelivery(VIEW),
+    InitMessage(3, frozenset({2}), frozenset({4})),
+    PredMessage(3, (DATA, make_data(0, 1, 3))),
+    WelcomeMessage(VIEW),
+    Estimate(2, (VIEW, (DATA,)), 1),
+    Proposal(2, (VIEW, ())),
+    Ack(5),
+    Nack(6),
+    Decide((VIEW, (DATA,))),
+    Heartbeat(42),
+    StableMessage(3, {0: 5, 1: -1, 2: 9}),
+    TraceMessage(4, 2, 0.5, 17, MessageKind.UPDATE),
+]
+
+
+class TestMessageRoundTrips:
+    @pytest.mark.parametrize(
+        "msg", WIRE_MESSAGES, ids=lambda m: type(m).__name__
+    )
+    def test_roundtrip_equal(self, msg):
+        assert roundtrip(msg) == msg
+
+    @pytest.mark.parametrize(
+        "stream,body",
+        [("svs", DATA), ("consensus", Ack(1)), ("fd", Heartbeat(0))],
+    )
+    def test_envelope_roundtrip(self, stream, body):
+        env = Envelope(stream=stream, body=body, instance=3)
+        got = roundtrip(env, sender=2)
+        assert (got.stream, got.body, got.instance) == (stream, body, 3)
+
+    def test_plain_data_roundtrip(self):
+        obj = {
+            "k": [1, 2.5, None, True, "s"],
+            ("tu", 1): frozenset({3, 4}),
+            "set": {1, 2},
+        }
+        assert roundtrip(obj) == obj
+
+    def test_sender_preserved_and_bounded(self):
+        assert unpack(pack(65535, None))[0] == 65535
+        with pytest.raises(FramingError, match="sender pid"):
+            pack(65536, None)
+        with pytest.raises(FramingError, match="sender pid"):
+            pack(-1, None)
+
+
+class TestFrameParsing:
+    def test_header_layout(self):
+        frame = pack(5, "x")
+        assert frame[0] == FRAME_MAGIC
+        assert frame[1] == FRAME_VERSION
+        assert int.from_bytes(frame[2:4], "big") == 5
+
+    @pytest.mark.parametrize(
+        "frame,why",
+        [
+            (b"", "short frame"),
+            (b"\x00\x01\x00\x00null", "bad frame magic"),
+            (bytes((FRAME_MAGIC, 99)) + b"\x00\x00null", "version"),
+            (bytes((FRAME_MAGIC, FRAME_VERSION)) + b"\x00\x00{oops", "unparseable"),
+        ],
+    )
+    def test_malformed_frames_raise(self, frame, why):
+        with pytest.raises(FramingError, match=why):
+            unpack(frame)
+
+    def test_unknown_tag_raises(self):
+        frame = bytes((FRAME_MAGIC, FRAME_VERSION)) + b"\x00\x00" + (
+            b'{"!": "martian", "v": 1}'
+        )
+        with pytest.raises(FramingError, match="unknown frame tag"):
+            unpack(frame)
+
+
+class TestCodecRegistry:
+    def test_unframeable_object_raises_not_pickles(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(FramingError, match="no wire codec"):
+            encode(Opaque())
+
+    def test_duplicate_tag_rejected(self):
+        class Fresh:
+            pass
+
+        with pytest.raises(FramingError, match="already registered"):
+            register_codec(Fresh, "mid", lambda o: None, lambda v: Fresh())
+
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(FramingError, match="already has a frame codec"):
+            register_codec(MessageId, "mid2", lambda o: None, lambda v: None)
+
+    def test_third_party_codec(self):
+        class Blob:
+            def __init__(self, x):
+                self.x = x
+
+            def __eq__(self, other):
+                return isinstance(other, Blob) and other.x == self.x
+
+        register_codec(Blob, "test.blob", lambda b: b.x, lambda v: Blob(v))
+        try:
+            assert decode(encode(Blob(11))) == Blob(11)
+        finally:
+            from repro.transport import framing
+
+            framing._CODECS.pop("test.blob")
+            framing._TAGS.pop(Blob)

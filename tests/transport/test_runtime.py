@@ -1,0 +1,100 @@
+"""Runtime liveness helpers: jitter bounds, backoff caps, scheduler."""
+
+import random
+
+import pytest
+
+from repro.transport.clock import WallClock
+from repro.transport.runtime import (
+    SyncScheduler,
+    jittered_interval,
+    next_backoff,
+)
+
+
+class TestJitterBounds:
+    def test_all_draws_within_bounds(self):
+        rng = random.Random(0)
+        draws = [jittered_interval(2.0, 0.25, rng) for _ in range(2000)]
+        assert all(1.5 <= d <= 2.5 for d in draws)
+        # Jitter actually varies (both sides of the nominal interval).
+        assert min(draws) < 2.0 < max(draws)
+
+    def test_zero_jitter_is_exact(self):
+        rng = random.Random(0)
+        assert jittered_interval(0.5, 0.0, rng) == 0.5
+
+    @pytest.mark.parametrize(
+        "interval,percent", [(0.0, 0.1), (-1.0, 0.1), (1.0, -0.1), (1.0, 1.0)]
+    )
+    def test_invalid_parameters_rejected(self, interval, percent):
+        with pytest.raises(ValueError):
+            jittered_interval(interval, percent, random.Random(0))
+
+
+class TestBackoff:
+    def test_doubles_until_cap(self):
+        delays = [0.05]
+        for _ in range(8):
+            delays.append(next_backoff(delays[-1], factor=2.0, cap=1.0))
+        assert delays[:5] == [0.05, 0.1, 0.2, 0.4, 0.8]
+        # Capped, and stays capped.
+        assert delays[5:] == [1.0] * 4
+
+    def test_cap_below_first_step(self):
+        assert next_backoff(0.5, factor=3.0, cap=0.6) == 0.6
+
+    @pytest.mark.parametrize(
+        "delay,factor,cap", [(0.0, 2.0, 1.0), (0.1, 0.5, 1.0), (0.1, 2.0, 0.0)]
+    )
+    def test_invalid_parameters_rejected(self, delay, factor, cap):
+        with pytest.raises(ValueError):
+            next_backoff(delay, factor, cap)
+
+
+class TestSyncScheduler:
+    @pytest.mark.timeout(30)
+    def test_fires_periodically(self):
+        clock = WallClock(seed=1)
+        fires = []
+        sched = SyncScheduler(clock, lambda: fires.append(clock.now), 0.02, 0.1)
+        sched.start()
+        clock.run(until=0.15)
+        # ~7 nominal periods; jitter makes the exact count fuzzy.
+        assert 3 <= len(fires) <= 12
+
+    @pytest.mark.timeout(30)
+    def test_skip_interval_fires_early(self):
+        clock = WallClock(seed=1)
+        fires = []
+        sched = SyncScheduler(clock, lambda: fires.append(clock.now), 5.0, 0.1)
+        sched.start()
+        clock.schedule(0.0, sched.skip_interval)
+        clock.run(until=0.1)
+        assert len(fires) == 1  # far sooner than the 5 s interval
+
+    @pytest.mark.timeout(30)
+    def test_reset_suppresses_pending_fire(self):
+        clock = WallClock(seed=1)
+        fires = []
+        sched = SyncScheduler(clock, lambda: fires.append(clock.now), 0.05, 0.0)
+        sched.start()
+        # Keep pushing the fire away before it can happen.
+        for k in range(1, 5):
+            clock.schedule(0.04 * k, sched.reset, 0.05)
+        clock.run(until=0.1)
+        assert fires == []
+
+    @pytest.mark.timeout(30)
+    def test_stop_cancels(self):
+        clock = WallClock(seed=1)
+        fires = []
+        sched = SyncScheduler(clock, lambda: fires.append(1), 0.02, 0.0)
+        sched.start()
+        sched.stop()
+        clock.run(until=0.06)
+        assert fires == []
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SyncScheduler(WallClock(), lambda: None, 0.0)

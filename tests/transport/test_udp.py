@@ -1,0 +1,119 @@
+"""UDP backend: real localhost sockets, peer maps, bounded send queues.
+
+Port numbers are spread out per test so parallel pytest workers never
+collide on a bind.
+"""
+
+import pytest
+
+from repro.scenario.builder import Scenario
+from repro.transport.clock import WallClock
+from repro.transport.interface import TransportError, transports
+from repro.transport.udp import UdpTransport, default_peer_map
+
+
+class TestPeerMap:
+    def test_default_layout(self):
+        peers = default_peer_map(3, base_port=48100)
+        assert peers == {
+            0: ("127.0.0.1", 48100),
+            1: ("127.0.0.1", 48101),
+            2: ("127.0.0.1", 48102),
+        }
+
+    def test_bare_ports_resolved_against_host(self):
+        t = UdpTransport(WallClock(), {0: 48110, 1: ("10.0.0.7", 9)}, host="127.0.0.1")
+        assert t.peers == {0: ("127.0.0.1", 48110), 1: ("10.0.0.7", 9)}
+
+    def test_empty_peer_map_rejected(self):
+        with pytest.raises(TransportError, match="non-empty peer map"):
+            UdpTransport(WallClock(), {})
+
+    def test_bind_requires_mapped_pid(self):
+        t = UdpTransport(WallClock(), {0: 48120})
+        with pytest.raises(TransportError, match="not in the peer map"):
+            t.bind(5, lambda pid, data: None)
+
+    def test_bad_queue_limit_rejected(self):
+        with pytest.raises(TransportError, match="queue_limit"):
+            UdpTransport(WallClock(), {0: 48130}, queue_limit=0)
+
+    def test_factory_needs_peers_or_n(self):
+        with pytest.raises(TransportError, match="peers=.*or n="):
+            transports.create("udp", WallClock())
+
+    def test_factory_n_shorthand(self):
+        t = transports.create("udp", WallClock(), n=2, base_port=48140)
+        assert isinstance(t, UdpTransport)
+        assert set(t.peers) == {0, 1}
+
+
+class TestDatagrams:
+    @pytest.mark.timeout(30)
+    def test_send_receive_over_real_sockets(self):
+        clock = WallClock()
+        udp = UdpTransport(clock, default_peer_map(2, base_port=48200))
+        got = []
+        udp.bind(0, lambda pid, data: got.append((pid, data)))
+        udp.bind(1, lambda pid, data: got.append((pid, data)))
+        clock.add_runner(udp)
+        clock.schedule(0.01, udp.send, 0, 1, b"ping")
+        clock.schedule(0.02, udp.send, 1, 0, b"pong")
+        clock.run(until=0.2)
+        assert sorted(got) == [(0, b"pong"), (1, b"ping")]
+        assert udp.stats.sent == 2
+        assert udp.stats.delivered == 2
+
+    @pytest.mark.timeout(30)
+    def test_unknown_destination_silently_dropped(self):
+        clock = WallClock()
+        udp = UdpTransport(clock, {0: 48210})
+        udp.bind(0, lambda pid, data: None)
+        clock.add_runner(udp)
+        clock.schedule(0.01, udp.send, 0, 9, b"void")
+        clock.run(until=0.05)
+        assert udp.stats.sent == 0 and udp.stats.delivered == 0
+
+    @pytest.mark.timeout(30)
+    def test_queue_overflow_drops_newest_and_counts(self):
+        clock = WallClock()
+        udp = UdpTransport(clock, default_peer_map(2, base_port=48220), queue_limit=2)
+        seen = []
+        udp.bind(0, lambda pid, data: None)
+        udp.bind(1, lambda pid, data: seen.append(data))
+
+        def burst():
+            # All five sends land in one callback, before the event loop
+            # can flush the channel: only queue_limit frames survive.
+            for k in range(5):
+                udp.send(0, 1, b"f%d" % k)
+
+        clock.add_runner(udp)
+        clock.schedule(0.01, burst)
+        clock.run(until=0.2)
+        assert udp.stats.queue_overflows == 3
+        assert udp.stats.dropped == 3
+        assert seen == [b"f0", b"f1"]
+
+    @pytest.mark.timeout(30)
+    def test_send_after_close_is_noop(self):
+        clock = WallClock()
+        udp = UdpTransport(clock, default_peer_map(2, base_port=48230))
+        udp.bind(0, lambda pid, data: None)
+        clock.add_runner(udp)
+        clock.run(until=0.02)
+        udp.send(0, 1, b"late")
+        assert udp.stats.sent == 0
+
+
+class TestUdpScenario:
+    @pytest.mark.timeout(90)
+    def test_full_group_over_localhost_udp(self):
+        s = Scenario().group(n=3, relation="item-tagging", seed=3)
+        s.transport("udp", n=3, base_port=48310)
+        for i in range(9):
+            s.inject(0.03 + i * 0.02, payload=i, annotation=f"i{i % 2}", sender=i % 3)
+        result = s.run(until=1.0)
+        assert result.ok, result.violations
+        for hist in result.histories.values():
+            assert any(e["kind"] == "data" for e in hist)
