@@ -1,0 +1,64 @@
+"""Gates on the sweep cache, anchored to ``BENCH_sweep_cache.json``.
+
+Two layers, mirroring the kernel baseline gate:
+
+1. the committed ``BENCH_sweep_cache.json`` must record a cold/warm
+   measurement where the warm pass hit on every run, reproduced the cold
+   output byte-for-byte and was measurably faster — the PR's acceptance
+   criterion, checked structurally so it cannot silently rot;
+2. the suite re-measures cold vs warm on *this* machine and asserts the
+   machine-independent parts outright (100 % warm hits, byte-identity,
+   zero recomputation) plus a deliberately loose warm-is-faster timing
+   bound — the warm pass skips all simulation work, so even noisy CI
+   machines clear it by an order of magnitude.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+import bench_sweep_cache
+
+
+class TestRecordedBaseline:
+    @pytest.fixture(scope="class")
+    def data(self):
+        assert bench_sweep_cache.BENCH_FILE.exists(), (
+            "BENCH_sweep_cache.json missing — emit it with "
+            "`python benchmarks/bench_sweep_cache.py --emit`"
+        )
+        return json.loads(bench_sweep_cache.BENCH_FILE.read_text())
+
+    def test_schema(self, data):
+        assert data["schema"] == bench_sweep_cache.SCHEMA_VERSION
+        current = data["current"]
+        for field in ("cold_s", "warm_s", "speedup", "warm_hit_rate",
+                      "byte_identical", "n_runs"):
+            assert field in current, f"snapshot misses {field}"
+
+    def test_recorded_warm_pass_meets_targets(self, data):
+        current = data["current"]
+        assert current["byte_identical"] is True
+        assert current["warm_hit_rate"] >= 0.9
+        assert current["warm_s"] < current["cold_s"], current
+        assert current["speedup"] >= 2.0, current
+
+
+class TestLiveColdWarm:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return bench_sweep_cache.measure()
+
+    def test_warm_pass_hits_everything(self, result):
+        assert result["warm_hit_rate"] == 1.0, result
+
+    def test_warm_output_byte_identical(self, result):
+        assert result["byte_identical"] is True
+
+    def test_warm_pass_measurably_faster(self, result):
+        # The warm pass replaces every simulated cell with a disk read;
+        # 2x is a very loose floor for a >= 10x effect.
+        assert result["warm_s"] * 2 < result["cold_s"], result

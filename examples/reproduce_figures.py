@@ -7,11 +7,17 @@ would consume.  Expect a few minutes of wall-clock time (the Figure 5
 sweeps bisect threshold rates across seven buffer sizes at full trace
 length).
 
-Run:  python examples/reproduce_figures.py [--fast] [--workers N]
+Run:  python examples/reproduce_figures.py [--fast] [--workers N] [--cache DIR]
 
 ``--workers N`` fans the grid-shaped experiments (Figures 4–5, the
 view-change table, the ablations) out to N worker processes via the sweep
 engine; results are identical to the serial run.
+
+``--cache DIR`` memoises every (cell, replicate) run in a content-addressed
+on-disk store (see ``docs/sweeps-cache.md``): the first run populates it,
+a warm re-run computes zero cells and prints byte-identical tables in
+seconds, and editing any module under ``src/repro`` invalidates exactly
+everything (``repro-sweep gc DIR`` reclaims the stale shards).
 """
 
 import argparse
@@ -19,15 +25,20 @@ import time
 
 import repro.analysis.experiments as exp
 from repro import workloads
+from repro.sweep import SweepCache
 
 
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--fast", action="store_true")
     parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument("--cache", default=None, metavar="DIR")
     args = parser.parse_args()
     fast = args.fast
     workers = args.workers
+    # One cache serves every figure: its session counters accumulate
+    # across all the sweeps below and flush once per sweep.
+    cache = SweepCache(args.cache) if args.cache else None
     if fast:
         trace = workloads.create("game", rounds=2000)
         buffers = (4, 12, 20, 28)
@@ -38,19 +49,39 @@ def main():
         probes = 8
 
     start = time.time()
+    before = _counters(args.cache) if cache else None
     exp.workload_stats(trace, show=True)
     exp.figure_3a(trace, top=50, show=True)
     exp.figure_3b(trace, show=True)
-    exp.figure_4a(trace, show=True, workers=workers)
-    exp.figure_4b(trace, show=True, workers=workers)
-    exp.figure_5a(trace, buffers=buffers, show=True, workers=workers)
-    exp.figure_5b(trace, buffers=buffers, probes=probes, show=True, workers=workers)
-    exp.view_change_latency_table(show=True, workers=workers)
-    exp.churn_table(show=True, workers=workers)
-    exp.ablation_k(trace, show=True, workers=workers)
-    exp.ablation_representation(trace, show=True, workers=workers)
-    exp.ablation_players(show=True, workers=workers)
+    exp.figure_4a(trace, show=True, workers=workers, cache=cache)
+    exp.figure_4b(trace, show=True, workers=workers, cache=cache)
+    exp.figure_5a(trace, buffers=buffers, show=True, workers=workers, cache=cache)
+    exp.figure_5b(
+        trace, buffers=buffers, probes=probes, show=True, workers=workers,
+        cache=cache,
+    )
+    exp.view_change_latency_table(show=True, workers=workers, cache=cache)
+    exp.churn_table(show=True, workers=workers, cache=cache)
+    exp.ablation_k(trace, show=True, workers=workers, cache=cache)
+    exp.ablation_representation(trace, show=True, workers=workers, cache=cache)
+    exp.ablation_players(show=True, workers=workers, cache=cache)
     print(f"\ntotal wall-clock: {time.time() - start:.1f}s")
+    if cache:
+        after = _counters(args.cache)
+        hits = after["hits"] - before["hits"]
+        misses = after["misses"] - before["misses"]
+        total = hits + misses
+        rate = f"{hits / total:.1%}" if total else "n/a"
+        print(
+            f"cache {args.cache}: {hits} hits / {misses} computed "
+            f"({rate} hit rate this run)"
+        )
+
+
+def _counters(cache_dir):
+    from repro.sweep.cache import cache_stats
+
+    return cache_stats(cache_dir)["counters"]
 
 
 if __name__ == "__main__":

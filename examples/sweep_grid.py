@@ -12,6 +12,12 @@ Two demonstrations of the ``repro.sweep`` engine:
    written to JSON.
 
 Run:  python examples/sweep_grid.py [--smoke] [--workers N] [--out FILE]
+                                    [--cache DIR]
+
+``--cache DIR`` runs both sweeps through the content-addressed cell cache
+(``docs/sweeps-cache.md``): re-running with the same arguments computes
+zero cells and writes a byte-identical ``--out`` file — the property CI's
+warm-cache lane asserts.
 """
 
 import argparse
@@ -21,8 +27,10 @@ from repro import ScenarioSweep, workloads
 from repro.analysis.experiments import figure_4_sweep
 
 
-def figure_sweep(trace, rates, workers):
-    result = figure_4_sweep(trace, buffer_size=15, rates=rates, workers=workers)
+def figure_sweep(trace, rates, workers, cache=None):
+    result = figure_4_sweep(
+        trace, buffer_size=15, rates=rates, workers=workers, cache=cache
+    )
     print(f"\n== Figure 4(a) via one Sweep call ({result.n_runs} cells) ==")
     print(f"{'msg/s':>8} {'reliable':>10} {'semantic':>10}")
     for rate in rates:
@@ -34,7 +42,7 @@ def figure_sweep(trace, rates, workers):
         )
 
 
-def scenario_sweep(rounds, seeds, workers, out):
+def scenario_sweep(rounds, seeds, workers, out, cache=None):
     sweep = (
         ScenarioSweep(
             base={
@@ -50,7 +58,7 @@ def scenario_sweep(rounds, seeds, workers, out):
         .axis("n", [3, 5])
         .axis("latency_model", ["constant", "lognormal"])
     )
-    result = sweep.run(workers=workers)
+    result = sweep.run(workers=workers, cache=cache)
     assert result.ok, result.violations  # every cell was invariant-checked
     print(
         f"\n== Scenario grid: n × latency model, {seeds} seeds/cell "
@@ -72,7 +80,9 @@ def main():
     parser.add_argument("--smoke", action="store_true", help="small fast grid")
     parser.add_argument("--workers", type=int, default=0)
     parser.add_argument("--out", default="sweep_result.json")
+    parser.add_argument("--cache", default=None, metavar="DIR")
     args = parser.parse_args()
+    cache = args.cache
 
     if args.smoke:
         trace = workloads.create("game", rounds=1500)
@@ -84,8 +94,8 @@ def main():
         rounds, seeds = 600, 3
 
     start = time.time()
-    figure_sweep(trace, rates, args.workers)
-    scenario_sweep(rounds, seeds, args.workers, args.out)
+    figure_sweep(trace, rates, args.workers, cache=cache)
+    scenario_sweep(rounds, seeds, args.workers, args.out, cache=cache)
     print(f"total wall-clock: {time.time() - start:.1f}s")
 
 

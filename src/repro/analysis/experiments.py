@@ -20,6 +20,15 @@ paper's buffer sweep in a quarter of the serial wall-clock, with the trace
 shipped to each worker once.  The cell functions double as reusable sweep
 runners: ``Sweep(...).run(_figure_4_cell, context=trace)`` is the raw form
 of :func:`figure_4a`.  Results are identical for any worker count.
+
+Every grid experiment also accepts ``cache=`` — a directory path or
+:class:`~repro.sweep.cache.SweepCache` — to memoise (cell, replicate)
+runs by content address: ``figure_4a(cache=".sweep-cache")`` computes
+nothing the second time, and one cache serves all figures of a
+``reproduce_figures.py --cache DIR`` run (Figures 4(a) and 4(b) share
+their grid outright).  The trace context is folded into the keys via
+:meth:`~repro.workload.trace.Trace.cache_token`, so a ``--fast`` trace
+can never hit full-trace shards.
 """
 
 from __future__ import annotations
@@ -202,6 +211,7 @@ def figure_4_sweep(
     buffer_size: int = 15,
     rates: Sequence[int] = DEFAULT_RATES,
     workers: Optional[int] = None,
+    cache: Any = None,
 ) -> SweepResult:
     """The full Figure 4 grid (both panels read from it)."""
     trace = trace or default_trace()
@@ -209,7 +219,7 @@ def figure_4_sweep(
         Sweep(base={"buffer_size": buffer_size})
         .axis("consumer_rate", list(rates))
         .axis("semantic", [False, True])
-        .run(_figure_4_cell, workers=workers, context=trace)
+        .run(_figure_4_cell, workers=workers, context=trace, cache=cache)
     )
 
 
@@ -232,9 +242,10 @@ def figure_4a(
     rates: Sequence[int] = DEFAULT_RATES,
     show: bool = False,
     workers: Optional[int] = None,
+    cache: Any = None,
 ) -> List[Tuple[int, float, float]]:
     """Figure 4(a): producer idle % vs consumer rate, reliable vs semantic."""
-    sweep = figure_4_sweep(trace, buffer_size, rates, workers)
+    sweep = figure_4_sweep(trace, buffer_size, rates, workers, cache)
     rows = _figure_4_rows(sweep, rates, "producer_idle_pct")
     if show:
         _print_rows(
@@ -251,9 +262,10 @@ def figure_4b(
     rates: Sequence[int] = DEFAULT_RATES,
     show: bool = False,
     workers: Optional[int] = None,
+    cache: Any = None,
 ) -> List[Tuple[int, float, float]]:
     """Figure 4(b): mean buffer occupancy vs consumer rate."""
-    sweep = figure_4_sweep(trace, buffer_size, rates, workers)
+    sweep = figure_4_sweep(trace, buffer_size, rates, workers, cache)
     rows = _figure_4_rows(sweep, rates, "mean_occupancy")
     if show:
         _print_rows(
@@ -287,6 +299,7 @@ def figure_5a(
     buffers: Sequence[int] = DEFAULT_BUFFERS,
     show: bool = False,
     workers: Optional[int] = None,
+    cache: Any = None,
 ) -> List[Tuple[int, int, int]]:
     """Figure 5(a): minimum tolerable consumer rate vs buffer size."""
     trace = trace or default_trace()
@@ -294,7 +307,7 @@ def figure_5a(
         Sweep()
         .axis("buffer_size", list(buffers))
         .axis("semantic", [False, True])
-        .run(_figure_5a_cell, workers=workers, context=trace)
+        .run(_figure_5a_cell, workers=workers, context=trace, cache=cache)
     )
     rows = [
         (
@@ -335,6 +348,7 @@ def figure_5b(
     probes: int = 8,
     show: bool = False,
     workers: Optional[int] = None,
+    cache: Any = None,
 ) -> List[Tuple[int, float, float]]:
     """Figure 5(b): tolerated full-stop perturbation length vs buffer size."""
     trace = trace or default_trace()
@@ -342,7 +356,7 @@ def figure_5b(
         Sweep(base={"probes": probes})
         .axis("buffer_size", list(buffers))
         .axis("semantic", [False, True])
-        .run(_figure_5b_cell, workers=workers, context=trace)
+        .run(_figure_5b_cell, workers=workers, context=trace, cache=cache)
     )
     rows = [
         (
@@ -391,13 +405,14 @@ def view_change_latency_table(
     load_time: float = 30.0,
     show: bool = False,
     workers: Optional[int] = None,
+    cache: Any = None,
 ) -> List[Tuple[str, int, int, float]]:
     """View change under load: backlog, purges, app-perceived latency."""
     trace = trace or default_trace()
     sweep = (
         Sweep(base={"slow_rate": slow_rate, "load_time": load_time})
         .axis("semantic", [False, True])
-        .run(_view_change_cell, workers=workers, context=trace)
+        .run(_view_change_cell, workers=workers, context=trace, cache=cache)
     )
     rows = []
     for semantic in (False, True):
@@ -520,6 +535,7 @@ def churn_table(
     losses: Sequence[float] = (0.0, 0.05),
     show: bool = False,
     workers: Optional[int] = None,
+    cache: Any = None,
 ) -> List[Tuple[float, float, int, int, float, float, int]]:
     """SVS under partition-heal churn: reliable vs semantic, per cell.
 
@@ -537,7 +553,7 @@ def churn_table(
         .axis("period", list(periods))
         .axis("loss", list(losses))
         .axis("semantic", [False, True])
-        .run(_churn_cell, workers=workers)
+        .run(_churn_cell, workers=workers, cache=cache)
     )
     rows = []
     for period in periods:
@@ -605,6 +621,7 @@ def ablation_k(
     consumer_rate: int = 30,
     show: bool = False,
     workers: Optional[int] = None,
+    cache: Any = None,
 ) -> List[Tuple[int, float, float]]:
     """Sensitivity to the k-enumeration window (paper picks k = 2×buffer).
 
@@ -615,7 +632,7 @@ def ablation_k(
     sweep = (
         Sweep(base={"buffer_size": buffer_size, "consumer_rate": consumer_rate})
         .axis("k", list(ks))
-        .run(_ablation_cell, workers=workers, context=trace)
+        .run(_ablation_cell, workers=workers, context=trace, cache=cache)
     )
     rows = [
         (
@@ -641,6 +658,7 @@ def ablation_representation(
     consumer_rate: int = 30,
     show: bool = False,
     workers: Optional[int] = None,
+    cache: Any = None,
 ) -> List[Tuple[str, float, float]]:
     """Compare the three obsolescence representations of Section 4.2.
 
@@ -652,7 +670,7 @@ def ablation_representation(
     sweep = (
         Sweep(base={"buffer_size": buffer_size, "consumer_rate": consumer_rate})
         .axis("representation", list(representations))
-        .run(_ablation_cell, workers=workers, context=trace)
+        .run(_ablation_cell, workers=workers, context=trace, cache=cache)
     )
     rows = [
         (
@@ -693,6 +711,7 @@ def ablation_players(
     rounds: int = 6000,
     show: bool = False,
     workers: Optional[int] = None,
+    cache: Any = None,
 ) -> List[Tuple[int, float, float, float]]:
     """Player-count scaling (Section 5.2, last paragraph).
 
@@ -703,7 +722,7 @@ def ablation_players(
     sweep = (
         Sweep(base={"rounds": rounds})
         .axis("players", list(players))
-        .run(_players_cell, workers=workers)
+        .run(_players_cell, workers=workers, cache=cache)
     )
     rows = [
         (

@@ -45,6 +45,17 @@ Determinism is scheduling-independent: seeds are derived by hashing cell
 identity, so ``workers=0`` and ``workers=8`` produce byte-identical
 aggregated JSON.
 
+Repeat runs are memoisable: ``run(..., cache="path/to/dir")`` (or an
+explicit :class:`~repro.sweep.cache.SweepCache`) stores every completed
+(cell, replicate) as a content-addressed JSON shard keyed by the cell
+params, replicate seed, runner identity, context token and a code
+fingerprint over ``src/repro/**`` — a warm re-run computes nothing and
+merges byte-identically, while any param/seed/code change recomputes
+exactly the affected cells.  ``Sweep.dirty_cells(cache, runner)``
+partitions a grid into cached/dirty up front, and the ``repro-sweep``
+CLI (:mod:`repro.sweep.cli`) reports hit rates and garbage-collects
+stale fingerprints.  See ``docs/sweeps-cache.md``.
+
 When a cell dies inside a worker, the raised
 :class:`~repro.sweep.executor.SweepCellError` names the failing cell as a
 JSON dict plus its replicate and derived seed — copy the dict back into a
@@ -56,6 +67,7 @@ The architecture and the kernel hot path behind cell execution are
 documented in ``docs/architecture.md`` and ``docs/kernel.md``.
 """
 
+from repro.sweep.cache import SweepCache, code_fingerprint, context_token
 from repro.sweep.executor import (
     SweepCellError,
     SweepInvariantError,
@@ -75,8 +87,11 @@ from repro.sweep.scenario import SCENARIO_CELL_KEYS, ScenarioSweep, scenario_cel
 
 __all__ = [
     "Sweep",
+    "SweepCache",
     "SweepError",
     "SweepResult",
+    "code_fingerprint",
+    "context_token",
     "SweepCellError",
     "SweepInvariantError",
     "CellResult",

@@ -29,10 +29,12 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import pathlib
 import traceback
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.scenario.result import ScenarioResult
+from repro.sweep.cache import SweepCache, context_token
 from repro.sweep.grid import Sweep, SweepError
 from repro.sweep.result import CellResult, CellRun, SweepResult
 
@@ -222,6 +224,7 @@ def run_sweep(
     keep_results: bool = False,
     progress: Optional[Callable[[int, int, CellRun], None]] = None,
     mp_context: Optional[str] = None,
+    cache: Optional[Union[str, pathlib.Path, SweepCache]] = None,
 ) -> SweepResult:
     """Execute every (cell, replicate) of ``sweep`` with ``runner``.
 
@@ -235,11 +238,21 @@ def run_sweep(
     first cell whose run violated the executable specification,
     ``"collect"`` records violations on the result (``SweepResult.ok``
     turns False).
+
+    ``cache`` — a :class:`~repro.sweep.cache.SweepCache` or a directory
+    path — memoises every (cell, replicate) by content address: runs
+    found in the cache are recorded without computing (they still count
+    toward ``progress`` and still trigger ``on_violation``), fresh runs
+    are written back.  Both executors share one cache layout, so a
+    serial run warms a later pooled run and vice versa, and the merged
+    :class:`SweepResult` is byte-identical either way.
     """
     if on_violation not in ("raise", "collect"):
         raise SweepError(
             f"on_violation must be 'raise' or 'collect': {on_violation!r}"
         )
+    if cache is not None and not isinstance(cache, SweepCache):
+        cache = SweepCache(cache)
     cells = sweep.cells()
     tasks: List[_Task] = []
     for cell_index, params in enumerate(cells):
@@ -260,30 +273,61 @@ def run_sweep(
         if progress is not None:
             progress(done, len(tasks), run)
 
-    if workers is None or workers <= 1:
-        _prepare_context(context)
-        for task in tasks:
-            index, cell_index, run = _execute(runner, context, task, keep_results)
-            record(index, cell_index, run)
-    else:
-        ctx = (
-            multiprocessing.get_context(mp_context)
-            if mp_context is not None
-            else multiprocessing.get_context()
-        )
-        with ctx.Pool(
-            processes=workers,
-            initializer=_init_worker,
-            initargs=(runner, context, keep_results),
-        ) as pool:
-            try:
-                for index, cell_index, run in pool.imap_unordered(
-                    _run_task, tasks, chunksize=1
-                ):
+    try:
+        pending = tasks
+        ctx_tok = ""
+        if cache is not None:
+            # Hits are recorded up front (cache lookups are parent-side for
+            # both executors — workers never touch the disk store); only the
+            # misses are computed below.
+            ctx_tok = context_token(context)
+            pending = []
+            for task in tasks:
+                index, cell_index, params, replicate, seed = task
+                run = cache.lookup(runner, params, replicate, seed, ctx_tok)
+                if run is not None:
                     record(index, cell_index, run)
-            except Exception:
-                pool.terminate()
-                raise
+                else:
+                    pending.append(task)
+
+        def completed(index: int, cell_index: int, run: CellRun) -> None:
+            if cache is not None:
+                _i, _c, params, replicate, seed = tasks[index]
+                # store() canonicalises the run through the shard's JSON
+                # encoding, so what we record now is byte-for-byte what a
+                # warm run will load.
+                run = cache.store(runner, params, replicate, seed, run, ctx_tok)
+            record(index, cell_index, run)
+
+        if workers is None or workers <= 1:
+            _prepare_context(context)
+            for task in pending:
+                index, cell_index, run = _execute(
+                    runner, context, task, keep_results
+                )
+                completed(index, cell_index, run)
+        elif pending:
+            ctx = (
+                multiprocessing.get_context(mp_context)
+                if mp_context is not None
+                else multiprocessing.get_context()
+            )
+            with ctx.Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(runner, context, keep_results),
+            ) as pool:
+                try:
+                    for index, cell_index, run in pool.imap_unordered(
+                        _run_task, pending, chunksize=1
+                    ):
+                        completed(index, cell_index, run)
+                except Exception:
+                    pool.terminate()
+                    raise
+    finally:
+        if cache is not None:
+            cache.flush_stats()
 
     grouped: List[List[CellRun]] = [[] for _ in cells]
     for entry in runs:

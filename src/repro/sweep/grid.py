@@ -180,6 +180,32 @@ class Sweep:
             for replicate in range(self.seeds)
         ]
 
+    def dirty_cells(self, cache, runner, context=None):
+        """Partition the grid into (cached, dirty) cell-parameter lists.
+
+        A cell is *cached* when every one of its replicates has a valid
+        shard in ``cache`` (a :class:`~repro.sweep.cache.SweepCache` or a
+        directory path) under the current code fingerprint, ``runner``
+        and ``context``; otherwise it is *dirty* and a
+        :func:`~repro.sweep.executor.run_sweep` call would recompute at
+        least one of its replicates.  Probing does not perturb the
+        cache's hit/miss counters.
+        """
+        from repro.sweep.cache import SweepCache, context_token
+
+        if not isinstance(cache, SweepCache):
+            cache = SweepCache(cache)
+        ctx_tok = context_token(context)
+        cached: List[Dict[str, Any]] = []
+        dirty: List[Dict[str, Any]] = []
+        for params in self.cells():
+            complete = all(
+                cache.contains(runner, params, replicate, seed, ctx_tok)
+                for replicate, seed in enumerate(self.seeds_for(params))
+            )
+            (cached if complete else dirty).append(params)
+        return cached, dirty
+
     # ------------------------------------------------------------------
     # Execution (delegates to the executor module)
     # ------------------------------------------------------------------

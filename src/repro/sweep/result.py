@@ -83,6 +83,28 @@ class CellRun:
     """Full result payload (e.g. a ScenarioResult dict) when the sweep ran
     with ``keep_results=True``; None otherwise."""
 
+    def to_dict(self) -> Dict[str, Any]:
+        """The run as a JSON-encodable dict — the shard payload format of
+        :mod:`repro.sweep.cache` and the per-run shape inside
+        :meth:`SweepResult.to_dict`."""
+        return {
+            "replicate": self.replicate,
+            "seed": self.seed,
+            "metrics": self.metrics,
+            "violations": self.violations,
+            "result": self.result,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CellRun":
+        return cls(
+            replicate=data["replicate"],
+            seed=data["seed"],
+            metrics=data["metrics"],
+            violations=data.get("violations", []),
+            result=data.get("result"),
+        )
+
 
 @dataclass
 class CellResult:
@@ -208,16 +230,7 @@ class SweepResult:
         cells = [
             CellResult(
                 params=raw["params"],
-                runs=[
-                    CellRun(
-                        replicate=run["replicate"],
-                        seed=run["seed"],
-                        metrics=run["metrics"],
-                        violations=run.get("violations", []),
-                        result=run.get("result"),
-                    )
-                    for run in raw["runs"]
-                ],
+                runs=[CellRun.from_dict(run) for run in raw["runs"]],
             )
             for raw in data["cells"]
         ]

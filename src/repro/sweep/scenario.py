@@ -40,8 +40,14 @@ two replicates of the same cell differ exactly by their derived seeds.
         .axis("n", [3, 5, 8])
         .axis("latency_params.mean", [0.0005, 0.002])
         .fixed(latency_model="lognormal", consumer_rate=200.0)
-        .run(workers=4)
+        .run(workers=4, cache=".sweep-cache")
     )
+
+Scenario cells cache cleanly (``cache=`` above, see
+:mod:`repro.sweep.cache`): the whole cell — including the ``checks``
+subset and every fault/latency knob — is a JSON dict, so the cell params
+themselves are the cache key's identity, and a context of defaults is
+folded in via its canonical JSON token.
 """
 
 from __future__ import annotations

@@ -246,7 +246,12 @@ class WallClock:
             except asyncio.CancelledError:
                 pass  # a callback error cancelled the sleep; re-raised by run()
         finally:
-            self._now = max(self._loop.time() - self._epoch, until)
+            # Freeze the clock at the run's end.  Only clamp up to `until`
+            # on clean completion: after a callback error aborted the run
+            # early, the frozen value must report how far the run actually
+            # got, not pretend the full duration elapsed.
+            elapsed = self._loop.time() - self._epoch
+            self._now = elapsed if self._errors else max(elapsed, until)
             for runner in self._runners:
                 try:
                     await runner.close()

@@ -40,6 +40,11 @@ class TransportStats:
     dropped: int = 0
     duplicated: int = 0
     queue_overflows: int = 0
+    errors_received: int = 0
+    """Asynchronous socket errors reported by the OS (e.g. ICMP
+    port-unreachable while a peer is still starting up).  Non-fatal —
+    the sync layer recovers the loss — but counted, so a staggered
+    start that never converges is diagnosable."""
 
 
 DatagramHandler = Callable[[ProcessId, bytes], None]

@@ -252,7 +252,15 @@ class TransportNetwork:
     # ------------------------------------------------------------------
 
     def channel_stats(self, src: ProcessId, dst: ProcessId) -> ChannelStats:
-        return self._stats.setdefault((src, dst), ChannelStats())
+        """Counters of one channel; a zero view for never-used channels.
+
+        Reading must not mutate ``_stats``: inserting on lookup would make
+        introspection fabricate entries, inflating iteration and ``repr``.
+        The zero object is fresh per call and deliberately disconnected —
+        traffic on the channel later starts its own entry.
+        """
+        stats = self._stats.get((src, dst))
+        return stats if stats is not None else ChannelStats()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -46,10 +46,12 @@ class _PidProtocol(asyncio.DatagramProtocol):
     def datagram_received(self, data: bytes, addr: Address) -> None:
         self._owner._dispatch(self._pid, data)
 
-    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+    def error_received(self, exc: Exception) -> None:
         # ICMP errors (peer not up yet) are expected during staggered
-        # starts; the sync layer retransmits, so they are not fatal.
-        pass
+        # starts; the sync layer retransmits, so they are not fatal —
+        # but silently dropping them leaves a never-converging start
+        # with nothing to diagnose, so count them on the owner.
+        self._owner.stats.errors_received += 1
 
 
 class UdpTransport(Transport):

@@ -18,6 +18,7 @@ The module also provides:
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -99,6 +100,23 @@ class Trace:
 
     def __iter__(self):
         return iter(self.messages)
+
+    def cache_token(self) -> str:
+        """Content fingerprint of the whole trace.
+
+        Hashes every message's identity plus the session shape — the
+        token :mod:`repro.sweep.cache` folds into cell keys when a trace
+        is the sweep's shared context, so reproducing a figure on a
+        different trace (``--fast``, another workload pack) can never hit
+        shards computed from this one.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"{self.rounds}|{self.fps!r}|{self.label}\n".encode())
+        for m in self.messages:
+            digest.update(
+                f"{m.index}|{m.round}|{m.time!r}|{m.item}|{m.kind.value}\n".encode()
+            )
+        return digest.hexdigest()
 
 
 @dataclass(frozen=True)

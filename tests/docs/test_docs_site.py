@@ -46,6 +46,7 @@ class TestMkdocsConfig:
         assert "index.md" in files
         assert "faults.md" in files
         assert "transport.md" in files
+        assert "sweeps-cache.md" in files
 
 
 class TestInternalLinks:
@@ -184,6 +185,66 @@ class TestTransportDocMatchesCode:
         for example in ("live_loopback.py", "live_udp.py"):
             assert f"examples/{example}" in text
             assert (REPO / "examples" / example).is_file()
+
+
+class TestSweepCacheDocMatchesCode:
+    def test_every_key_field_documented(self):
+        """sweeps-cache.md documents the exact key composition; keep it
+        honest against the canonical document SweepCache.key() builds."""
+        import json
+        from unittest import mock
+
+        from repro.sweep import SweepCache
+
+        captured = {}
+        real_dumps = json.dumps
+
+        def spy(obj, **kwargs):
+            captured.setdefault("doc", obj)
+            return real_dumps(obj, **kwargs)
+
+        cache = SweepCache.__new__(SweepCache)
+        cache.fingerprint = "f"
+        cache.extra = ""
+        with mock.patch.object(json, "dumps", spy):
+            cache.key(lambda p, s, c: None, {"x": 1}, 0, 42)
+        text = (DOCS / "sweeps-cache.md").read_text()
+        for field in captured["doc"]:
+            assert f"`{field}`" in text, (
+                f"docs/sweeps-cache.md misses key field {field}"
+            )
+
+    def test_cli_subcommands_documented_and_real(self):
+        import pytest
+
+        from repro.sweep import cli
+
+        text = (DOCS / "sweeps-cache.md").read_text()
+        for sub in ("stats", "gc"):
+            assert f"repro-sweep {sub}" in text
+            with pytest.raises(SystemExit) as exc:
+                cli.main([sub, "--help"])
+            assert exc.value.code == 0, f"cli has no {sub} subcommand"
+        for flag in ("--json", "--since", "--assert-hit-rate",
+                     "--dry-run", "--all"):
+            assert flag in text, f"docs miss CLI flag {flag}"
+
+    def test_entry_points_cited(self):
+        text = (DOCS / "sweeps-cache.md").read_text()
+        assert "`repro.sweep.cache.context_token`" in text
+        assert "`repro.sweep.cache.code_fingerprint`" in text
+        assert "`cache-stats.json`" in text
+        assert "dirty_cells" in text
+
+    def test_architecture_map_cites_cache(self):
+        text = (DOCS / "architecture.md").read_text()
+        assert "`repro.sweep.cache`" in text
+        assert "sweeps-cache.md" in text
+
+    def test_readme_shows_warm_vs_cold(self):
+        readme = (REPO / "README.md").read_text()
+        assert "--cache .sweep-cache" in readme
+        assert "docs/sweeps-cache.md" in readme
 
 
 class TestKernelDocMatchesCode:

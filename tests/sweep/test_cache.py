@@ -1,0 +1,430 @@
+"""The content-addressed cell cache: correctness before convenience.
+
+Four properties carry the whole design (see docs/sweeps-cache.md):
+
+* a warm run computes zero cells and merges **byte-identically** to the
+  cold run that populated the cache;
+* any change to cell params, seeds, runner, context or code fingerprint
+  misses — incremental re-runs recompute exactly the affected cells;
+* corrupted shards (truncation, edits, fingerprint drift) are treated as
+  misses and recomputed, never served — in particular shards recording
+  invariant violations;
+* serial and pooled executors share one store, and concurrent writers
+  can only ever publish complete shards.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.sweep import Sweep, SweepCache, SweepError, SweepInvariantError
+from repro.sweep.cache import (
+    cache_stats,
+    code_fingerprint,
+    context_token,
+    gc,
+    runner_token,
+)
+from repro.sweep.result import CellRun
+
+
+# Cells must be module-level to be picklable by the pool.
+def square_cell(params, seed, context):
+    return {"value": float(params["x"] ** 2), "seed_mod": float(seed % 97)}
+
+
+def counting_cell(params, seed, context):
+    counting_cell.calls += 1
+    return {"value": float(params["x"])}
+
+
+counting_cell.calls = 0
+
+
+def offset_cell(params, seed, context):
+    return {"value": params["x"] + context["offset"]}
+
+
+def violating_cell(params, seed, context):
+    return {"value": 0.0, "violations": ["SVS: synthetic violation"]}
+
+
+def make_sweep(seeds=2, values=(1, 2, 3)):
+    return Sweep(seeds=seeds).axis("x", list(values))
+
+
+def make_cache(tmp_path, fingerprint="fp-test", **kwargs):
+    return SweepCache(tmp_path / "cache", fingerprint=fingerprint, **kwargs)
+
+
+class TestHitMissDeterminism:
+    def test_warm_run_computes_zero_cells(self, tmp_path):
+        sweep = make_sweep()
+        counting_cell.calls = 0
+        sweep.run(counting_cell, cache=make_cache(tmp_path))
+        assert counting_cell.calls == sweep.n_runs
+        sweep.run(counting_cell, cache=make_cache(tmp_path))
+        assert counting_cell.calls == sweep.n_runs, "warm run recomputed cells"
+
+    def test_warm_run_byte_identical_to_cold(self, tmp_path):
+        sweep = make_sweep()
+        cold = sweep.run(square_cell, cache=make_cache(tmp_path))
+        warm = sweep.run(square_cell, cache=make_cache(tmp_path))
+        assert cold.to_json() == warm.to_json()
+
+    def test_cached_matches_uncached(self, tmp_path):
+        sweep = make_sweep()
+        plain = sweep.run(square_cell)
+        cached = sweep.run(square_cell, cache=make_cache(tmp_path))
+        assert plain.to_json() == cached.to_json()
+
+    def test_partial_warm_merges_identically(self, tmp_path):
+        cache = make_cache(tmp_path)
+        make_sweep(values=(1, 2)).run(square_cell, cache=cache)
+        grown = make_sweep(values=(1, 2, 3))
+        counting_cell.calls = 0
+        merged = grown.run(square_cell, cache=make_cache(tmp_path))
+        assert merged.to_json() == grown.run(square_cell).to_json()
+
+    def test_adding_an_axis_value_recomputes_only_new_cells(self, tmp_path):
+        counting_cell.calls = 0
+        make_sweep(values=(1, 2)).run(counting_cell, cache=make_cache(tmp_path))
+        before = counting_cell.calls
+        make_sweep(values=(1, 2, 3)).run(
+            counting_cell, cache=make_cache(tmp_path)
+        )
+        # Only the two replicates of the new x=3 cell ran.
+        assert counting_cell.calls == before + 2
+
+    def test_path_accepted_in_place_of_cache_object(self, tmp_path):
+        sweep = make_sweep()
+        cold = sweep.run(square_cell, cache=tmp_path / "by-path")
+        warm = sweep.run(square_cell, cache=str(tmp_path / "by-path"))
+        assert cold.to_json() == warm.to_json()
+
+    def test_hit_and_miss_counters_flush_to_disk(self, tmp_path):
+        cache = make_cache(tmp_path)
+        sweep = make_sweep()
+        sweep.run(square_cell, cache=cache)
+        sweep.run(square_cell, cache=make_cache(tmp_path))
+        recorded = cache_stats(tmp_path / "cache")["counters"]
+        assert recorded["misses"] == sweep.n_runs
+        assert recorded["hits"] == sweep.n_runs
+        assert recorded["stores"] == sweep.n_runs
+        assert recorded["runs"] == 2
+
+
+class TestInvalidation:
+    def test_param_change_misses(self, tmp_path):
+        cache = make_cache(tmp_path)
+        Sweep(base={"b": 1}, seeds=1).axis("x", [1]).run(square_cell, cache=cache)
+        counting_cell.calls = 0
+        Sweep(base={"b": 2}, seeds=1).axis("x", [1]).run(
+            counting_cell, cache=make_cache(tmp_path)
+        )
+        assert counting_cell.calls == 1
+
+    def test_seed_change_misses(self, tmp_path):
+        Sweep(seeds=1, base_seed=0).axis("x", [1]).run(
+            counting_cell, cache=make_cache(tmp_path)
+        )
+        counting_cell.calls = 0
+        Sweep(seeds=1, base_seed=1).axis("x", [1]).run(
+            counting_cell, cache=make_cache(tmp_path)
+        )
+        assert counting_cell.calls == 1
+
+    def test_code_fingerprint_change_misses(self, tmp_path):
+        sweep = make_sweep(seeds=1, values=(1,))
+        sweep.run(counting_cell, cache=make_cache(tmp_path, fingerprint="v1"))
+        counting_cell.calls = 0
+        sweep.run(counting_cell, cache=make_cache(tmp_path, fingerprint="v2"))
+        assert counting_cell.calls == 1
+        counting_cell.calls = 0
+        sweep.run(counting_cell, cache=make_cache(tmp_path, fingerprint="v1"))
+        assert counting_cell.calls == 0, "original fingerprint lost its shards"
+
+    def test_runner_identity_in_key(self, tmp_path):
+        sweep = make_sweep(seeds=1, values=(1,))
+        sweep.run(square_cell, cache=make_cache(tmp_path))
+        counting_cell.calls = 0
+        sweep.run(counting_cell, cache=make_cache(tmp_path))
+        assert counting_cell.calls == 1, "different runner hit the same shard"
+
+    def test_context_change_misses(self, tmp_path):
+        sweep = make_sweep(seeds=1, values=(1,))
+        sweep.run(offset_cell, context={"offset": 1}, cache=make_cache(tmp_path))
+        r2 = sweep.run(
+            offset_cell, context={"offset": 5}, cache=make_cache(tmp_path)
+        )
+        assert r2.select(x=1).value("value") == 6.0, "stale context served"
+
+    def test_extra_salt_in_key(self, tmp_path):
+        sweep = make_sweep(seeds=1, values=(1,))
+        sweep.run(counting_cell, cache=make_cache(tmp_path, extra="a"))
+        counting_cell.calls = 0
+        sweep.run(counting_cell, cache=make_cache(tmp_path, extra="b"))
+        assert counting_cell.calls == 1
+
+    def test_opaque_context_refused(self, tmp_path):
+        with pytest.raises(SweepError, match="cache_token"):
+            make_sweep().run(
+                square_cell, context=object(), cache=make_cache(tmp_path)
+            )
+
+    def test_context_token_resolution(self):
+        class Tokenised:
+            def cache_token(self):
+                return "tok-1"
+
+        assert context_token(None) == ""
+        assert context_token(Tokenised()) == "tok-1"
+        assert context_token({"a": 1}) == context_token({"a": 1})
+        assert context_token({"a": 1}) != context_token({"a": 2})
+
+    def test_runner_token_external_runner_hashes_its_file(self):
+        token = runner_token(square_cell)
+        assert token.startswith(f"{__name__}:square_cell:")
+
+    def test_code_fingerprint_is_stable_and_source_sensitive(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("x = 1\n")
+        first = code_fingerprint(pkg)
+        assert first == code_fingerprint(pkg)  # memoised and stable
+        import repro.sweep.cache as cache_mod
+
+        cache_mod._code_fingerprint_memo.pop(str(pkg))
+        (pkg / "a.py").write_text("x = 2\n")
+        assert code_fingerprint(pkg) != first
+
+
+class TestCorruptShards:
+    def shard_paths(self, cache):
+        return sorted(cache.path.glob("*/*.json"))
+
+    def test_truncated_shard_recomputed_not_crashed(self, tmp_path):
+        cache = make_cache(tmp_path)
+        sweep = make_sweep(seeds=1)
+        cold = sweep.run(square_cell, cache=cache)
+        victim = self.shard_paths(cache)[0]
+        victim.write_text(victim.read_text()[: victim.stat().st_size // 2])
+        again = sweep.run(square_cell, cache=make_cache(tmp_path))
+        assert again.to_json() == cold.to_json()
+
+    def test_tampered_payload_fails_history_fingerprint(self, tmp_path):
+        cache = make_cache(tmp_path)
+        sweep = make_sweep(seeds=1)
+        cold = sweep.run(square_cell, cache=cache)
+        victim = self.shard_paths(cache)[0]
+        shard = json.loads(victim.read_text())
+        shard["run"]["metrics"]["value"] = -12345.0
+        victim.write_text(json.dumps(shard, sort_keys=True))
+        verify = make_cache(tmp_path)
+        again = sweep.run(square_cell, cache=verify)
+        assert again.to_json() == cold.to_json(), "tampered shard was served"
+
+    def test_violation_shard_not_served_when_fingerprint_broken(self, tmp_path):
+        cache = make_cache(tmp_path)
+        sweep = make_sweep(seeds=1, values=(1,))
+        sweep.run(violating_cell, on_violation="collect", cache=cache)
+        victim = self.shard_paths(cache)[0]
+        shard = json.loads(victim.read_text())
+        assert shard["run"]["violations"], "expected a violating shard"
+        shard["run"]["violations"] = []  # tamper: hide the violation
+        victim.write_text(json.dumps(shard, sort_keys=True))
+        # The doctored shard fails its history fingerprint, so the cell is
+        # recomputed and the violation resurfaces (and raises by default).
+        with pytest.raises(SweepInvariantError):
+            sweep.run(violating_cell, cache=make_cache(tmp_path))
+
+    def test_intact_violation_shard_still_triggers_policy(self, tmp_path):
+        cache = make_cache(tmp_path)
+        sweep = make_sweep(seeds=1, values=(1,))
+        sweep.run(violating_cell, on_violation="collect", cache=cache)
+        with pytest.raises(SweepInvariantError):
+            sweep.run(violating_cell, cache=make_cache(tmp_path))
+
+    def test_unrelated_json_in_cache_dir_ignored(self, tmp_path):
+        cache = make_cache(tmp_path)
+        sweep = make_sweep(seeds=1)
+        sweep.run(square_cell, cache=cache)
+        (cache.path / "aa").mkdir(exist_ok=True)
+        (cache.path / "aa" / "not-a-shard.json").write_text("{}")
+        counting_cell.calls = 0
+        warm = sweep.run(square_cell, cache=make_cache(tmp_path))
+        assert warm.ok
+
+
+class TestDirtyCells:
+    def test_partition_hit_and_miss_cells(self, tmp_path):
+        cache = make_cache(tmp_path)
+        make_sweep(values=(1, 2)).run(square_cell, cache=cache)
+        grown = make_sweep(values=(1, 2, 3))
+        cached, dirty = grown.dirty_cells(make_cache(tmp_path), square_cell)
+        assert [c["x"] for c in cached] == [1, 2]
+        assert [c["x"] for c in dirty] == [3]
+
+    def test_partially_cached_cell_is_dirty(self, tmp_path):
+        cache = make_cache(tmp_path)
+        sweep = make_sweep(seeds=3, values=(1,))
+        sweep.run(square_cell, cache=cache)
+        victim = sorted(cache.path.glob("*/*.json"))[0]
+        victim.unlink()
+        cached, dirty = sweep.dirty_cells(make_cache(tmp_path), square_cell)
+        assert cached == []
+        assert [c["x"] for c in dirty] == [1]
+
+    def test_probing_leaves_counters_untouched(self, tmp_path):
+        cache = make_cache(tmp_path)
+        sweep = make_sweep()
+        sweep.run(square_cell, cache=cache)
+        probe = make_cache(tmp_path)
+        sweep.dirty_cells(probe, square_cell)
+        assert probe.stats.hits == 0
+        assert probe.stats.misses == 0
+
+
+@pytest.mark.slow
+class TestExecutorSharing:
+    def test_serial_cold_pooled_warm(self, tmp_path):
+        sweep = make_sweep()
+        cold = sweep.run(square_cell, cache=make_cache(tmp_path))
+        warm = sweep.run(square_cell, workers=2, cache=make_cache(tmp_path))
+        assert cold.to_json() == warm.to_json()
+
+    def test_pooled_cold_serial_warm(self, tmp_path):
+        sweep = make_sweep()
+        cold = sweep.run(square_cell, workers=2, cache=make_cache(tmp_path))
+        counting_cell.calls = 0
+        warm = sweep.run(square_cell, cache=make_cache(tmp_path))
+        assert cold.to_json() == warm.to_json()
+        recorded = cache_stats(tmp_path / "cache")["counters"]
+        assert recorded["hits"] == sweep.n_runs
+
+
+class TestConcurrentWriters:
+    def test_racing_stores_publish_complete_shards(self, tmp_path):
+        # Hammer one key from many threads; atomic replace means any
+        # winner must leave a complete, verifiable shard behind.
+        run = CellRun(replicate=0, seed=42, metrics={"v": 1.0})
+        caches = [make_cache(tmp_path) for _ in range(8)]
+        params = {"x": 1}
+        barrier = threading.Barrier(len(caches))
+
+        def store(cache):
+            barrier.wait()
+            for _ in range(25):
+                cache.store(square_cell, params, 0, 42, run)
+
+        threads = [
+            threading.Thread(target=store, args=(cache,)) for cache in caches
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        loaded = make_cache(tmp_path).lookup(square_cell, params, 0, 42)
+        assert loaded is not None
+        assert loaded.metrics == {"v": 1.0}
+        leftovers = [p for p in (tmp_path / "cache").rglob("*.tmp")]
+        assert not leftovers, f"temp files leaked: {leftovers}"
+
+    def test_two_caches_interleaved_runs_share_shards(self, tmp_path):
+        sweep = make_sweep()
+        a = make_cache(tmp_path)
+        b = make_cache(tmp_path)
+        ra = sweep.run(square_cell, cache=a)
+        rb = sweep.run(square_cell, cache=b)
+        assert ra.to_json() == rb.to_json()
+
+
+class TestGcAndStats:
+    def test_gc_evicts_stale_fingerprints_only(self, tmp_path):
+        sweep = make_sweep(seeds=1)
+        sweep.run(square_cell, cache=make_cache(tmp_path, fingerprint="old"))
+        current = code_fingerprint()
+        sweep.run(
+            square_cell, cache=make_cache(tmp_path, fingerprint=current)
+        )
+        report = gc(tmp_path / "cache")
+        assert report["evicted"] == sweep.n_cells
+        assert report["kept"] == sweep.n_cells
+        # The current-fingerprint shards survived and still hit.
+        counting_cell.calls = 0
+        sweep.run(square_cell, cache=make_cache(tmp_path, fingerprint=current))
+        stats = cache_stats(tmp_path / "cache")
+        assert stats["stale_shards"] == 0
+
+    def test_gc_dry_run_deletes_nothing(self, tmp_path):
+        sweep = make_sweep(seeds=1)
+        sweep.run(square_cell, cache=make_cache(tmp_path, fingerprint="old"))
+        report = gc(tmp_path / "cache", dry_run=True)
+        assert report["evicted"] == sweep.n_cells
+        assert cache_stats(tmp_path / "cache")["shards"] == sweep.n_cells
+
+    def test_gc_all_clears_everything(self, tmp_path):
+        sweep = make_sweep(seeds=1)
+        sweep.run(square_cell, cache=make_cache(tmp_path))
+        report = gc(tmp_path / "cache", remove_all=True)
+        assert report["kept"] == 0
+        assert cache_stats(tmp_path / "cache")["shards"] == 0
+
+    def test_gc_removes_unreadable_shards(self, tmp_path):
+        cache = make_cache(tmp_path, fingerprint=code_fingerprint())
+        make_sweep(seeds=1).run(square_cell, cache=cache)
+        victim = sorted(cache.path.glob("*/*.json"))[0]
+        victim.write_text("not json at all")
+        report = gc(tmp_path / "cache")
+        assert report["evicted"] == 1
+
+    def test_stats_on_missing_dir(self, tmp_path):
+        stats = cache_stats(tmp_path / "never-created")
+        assert stats["shards"] == 0
+        assert stats["hit_rate"] is None
+
+
+class TestCli:
+    def run_cli(self, *argv):
+        from repro.sweep.cli import main
+
+        return main(list(argv))
+
+    def test_stats_and_assert_hit_rate(self, tmp_path, capsys):
+        sweep = make_sweep()
+        sweep.run(square_cell, cache=make_cache(tmp_path))
+        sweep.run(square_cell, cache=make_cache(tmp_path))
+        cache_dir = str(tmp_path / "cache")
+        assert self.run_cli("stats", cache_dir) == 0
+        out = capsys.readouterr().out
+        assert "hit rate: 50.0%" in out
+        assert self.run_cli("stats", cache_dir, "--assert-hit-rate", "0.4") == 0
+        assert self.run_cli("stats", cache_dir, "--assert-hit-rate", "0.9") == 1
+
+    def test_stats_since_snapshot_isolates_warm_pass(self, tmp_path, capsys):
+        sweep = make_sweep()
+        cache_dir = str(tmp_path / "cache")
+        sweep.run(square_cell, cache=make_cache(tmp_path))
+        self.run_cli("stats", cache_dir, "--json")
+        snapshot = tmp_path / "snap.json"
+        snapshot.write_text(capsys.readouterr().out)
+        sweep.run(square_cell, cache=make_cache(tmp_path))
+        code = self.run_cli(
+            "stats", cache_dir, "--since", str(snapshot),
+            "--assert-hit-rate", "0.9",
+        )
+        assert code == 0
+        assert "100.0%" in capsys.readouterr().out
+
+    def test_gc_subcommand(self, tmp_path, capsys):
+        sweep = make_sweep(seeds=1)
+        sweep.run(square_cell, cache=make_cache(tmp_path, fingerprint="old"))
+        cache_dir = str(tmp_path / "cache")
+        assert self.run_cli("gc", cache_dir, "--dry-run") == 0
+        assert "would evict 3" in capsys.readouterr().out
+        assert self.run_cli("gc", cache_dir, "--json") == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["evicted"] == 3
+        assert cache_stats(cache_dir)["shards"] == 0

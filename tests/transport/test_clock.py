@@ -89,7 +89,31 @@ class TestRunContract:
         with pytest.raises(RuntimeError, match="kaboom"):
             clock.run(until=5.0)
         # The failing run still counts as the one shot.
-        assert clock.now < 5.0 or True
+        with pytest.raises(SimulationError, match="one-shot"):
+            clock.run(until=0.01)
+
+    @pytest.mark.timeout(30)
+    def test_aborted_run_reports_actual_elapsed_not_full_duration(self):
+        # A callback error at t≈0 aborts the run; the frozen clock must
+        # report how far the run actually got, not clamp up to `until`
+        # and pretend the full duration elapsed.
+        clock = WallClock()
+        clock.schedule(0.0, self._boom)
+        with pytest.raises(RuntimeError, match="early abort"):
+            clock.run(until=30.0)
+        assert clock.now < 5.0, (
+            f"failed run reported a full-duration clock: now={clock.now}"
+        )
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("early abort")
+
+    @pytest.mark.timeout(30)
+    def test_clean_run_still_clamps_to_until(self):
+        clock = WallClock()
+        clock.run(until=0.01)
+        assert clock.now >= 0.01
 
     @pytest.mark.timeout(30)
     def test_runner_lifecycle(self):

@@ -1,0 +1,50 @@
+"""TransportNetwork introspection must not mutate what it reports."""
+
+from repro.sim.network import ChannelStats
+from repro.transport.clock import WallClock
+from repro.transport.interface import Transport
+from repro.transport.network import TransportNetwork
+
+
+class RecordingTransport(Transport):
+    """Minimal in-memory backend: records frames instead of moving them."""
+
+    def __init__(self):
+        super().__init__()
+        self.frames = []
+
+    def send(self, src, dst, data):
+        self.frames.append((src, dst, data))
+
+
+def make_network():
+    return TransportNetwork(WallClock(seed=1), RecordingTransport())
+
+
+class TestChannelStatsZeroView:
+    def test_read_does_not_insert(self):
+        net = make_network()
+        stats = net.channel_stats(0, 1)
+        assert stats == ChannelStats()
+        assert net._stats == {}, "introspection fabricated a stats entry"
+
+    def test_repeated_reads_do_not_grow_the_table(self):
+        net = make_network()
+        for dst in range(50):
+            net.channel_stats(0, dst)
+        assert len(net._stats) == 0
+
+    def test_zero_view_is_disconnected_from_later_traffic(self):
+        net = make_network()
+        zero = net.channel_stats(0, 1)
+        net.send(0, 1, "ping")
+        assert zero.sent == 0, "zero view aliased the live entry"
+        assert net.channel_stats(0, 1).sent == 1
+
+    def test_used_channels_still_share_the_live_entry(self):
+        net = make_network()
+        net.send(0, 1, "ping")
+        live = net.channel_stats(0, 1)
+        net.send(0, 1, "pong")
+        assert live.sent == 2
+        assert len(net._stats) == 1

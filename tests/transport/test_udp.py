@@ -9,7 +9,23 @@ import pytest
 from repro.scenario.builder import Scenario
 from repro.transport.clock import WallClock
 from repro.transport.interface import TransportError, transports
-from repro.transport.udp import UdpTransport, default_peer_map
+from repro.transport.udp import UdpTransport, _PidProtocol, default_peer_map
+
+
+class TestIcmpErrorsCounted:
+    def test_error_received_counts_on_owner_stats(self):
+        # ICMP port-unreachable during a staggered start must stay
+        # non-fatal but visible: the owning transport counts it.
+        udp = UdpTransport(WallClock(), {0: 48150})
+        protocol = _PidProtocol(udp, 0)
+        assert udp.stats.errors_received == 0
+        protocol.error_received(ConnectionRefusedError("port unreachable"))
+        protocol.error_received(OSError("host unreachable"))
+        assert udp.stats.errors_received == 2
+        # Nothing else moved: errors are not sends, drops or deliveries.
+        assert udp.stats.sent == 0
+        assert udp.stats.dropped == 0
+        assert udp.stats.delivered == 0
 
 
 class TestPeerMap:
