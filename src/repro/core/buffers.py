@@ -245,6 +245,38 @@ class DeliveryQueue:
             stats.max_len = self._size
         return True
 
+    def append_purge(self, msg: DataMessage) -> List[DataMessage]:
+        """Fused :meth:`append` + :meth:`purge_by` of one data message.
+
+        Exactly equivalent to the two calls in sequence (the t3 receive
+        path of Figure 1), but resolves the purge candidates and the
+        index insertion in a single bucket interaction via
+        :meth:`PurgeIndex.add_obsoleted
+        <repro.core.obsolescence.PurgeIndex.add_obsoleted>`.  Returns the
+        purged messages, sorted like :meth:`purge_by`.
+        """
+        index = self._live_index
+        if index is None:
+            # Naive-scan or inert queue: nothing to fuse.
+            self.append(msg)
+            return self.purge_by(msg)
+        if self.capacity is not None and self._size >= self.capacity:
+            self.stats.rejected += 1
+            raise QueueFullError(f"queue at capacity {self.capacity}")
+        if self._doomed and msg.mid in self._doomed:
+            self._compact()
+        self._mids.add(msg.mid)
+        candidates = index.add_obsoleted(msg)
+        self._items.append(msg)
+        self._size += 1
+        stats = self.stats
+        stats.appended += 1
+        if self._size > stats.max_len:
+            stats.max_len = self._size
+        if not candidates:
+            return []
+        return self._remove_msgs(candidates, exclude=msg.mid)
+
     def pop(self) -> QueueEntry:
         """Remove and return the head (Figure 1 t1: removeFirst)."""
         if not self._size:

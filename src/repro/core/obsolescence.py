@@ -97,6 +97,19 @@ class PurgeIndex:
         """True iff some indexed message makes ``old`` obsolete."""
         raise NotImplementedError
 
+    def add_obsoleted(self, new: DataMessage) -> List[DataMessage]:
+        """Fused ``obsoleted_by(new)`` + ``add(new)``.
+
+        The t3 receive path always asks both questions about the same
+        message, and for bucketed indexes both resolve to the *same*
+        bucket — subclasses override this to look it up once.  Must
+        equal ``obsoleted_by`` followed by ``add`` (``new`` can never be
+        its own candidate: the relation is irreflexive).
+        """
+        candidates = self.obsoleted_by(new)
+        self.add(new)
+        return candidates
+
 
 class ObsolescenceRelation:
     """Interface the protocol uses to interrogate obsolescence.
@@ -251,6 +264,19 @@ class _TagIndex(PurgeIndex):
             return False
         sn = old.sn
         return any(s > sn for s in bucket)
+
+    def add_obsoleted(self, new: DataMessage) -> List[DataMessage]:
+        if new.annotation is None:
+            return []
+        key = (new.mid.sender, new.annotation)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = {new.sn: new}
+            return []
+        sn, view_id = new.sn, new.view_id
+        out = [m for m in bucket.values() if m.sn < sn and m.view_id == view_id]
+        bucket[sn] = new
+        return out
 
 
 class MessageEnumeration(ObsolescenceRelation):

@@ -231,6 +231,19 @@ class SVSProcess(SimProcess):
         # initial view is announced like any other.
         self.to_deliver.append(ViewDelivery(initial_view))
 
+        # t2 fan-out cache: the peer list in the current view, in the
+        # exact member-iteration order the per-peer send loop used.
+        # Built on first multicast and rebuilt when the view id changes —
+        # never eagerly, so a 10k-process group that mostly listens does
+        # not hold 10k copies of the member list.  The batched-delivery
+        # shortcut for the v3 network is only installed when message
+        # routing is not overridden — a subclass with its own on_message
+        # keeps the generic per-event dispatch.
+        self._peers: Optional[List[ProcessId]] = None
+        self._peers_vid: Optional[int] = None
+        if type(self).on_message is SVSProcess.on_message:
+            self._fast_handler = self._fast_deliver
+
     # ------------------------------------------------------------------
     # t1 — application delivery (down-call)
     # ------------------------------------------------------------------
@@ -286,9 +299,14 @@ class SVSProcess(SimProcess):
         )
         self.to_deliver.append(msg)
         envelope = Envelope(stream=SVS_STREAM, body=msg)
-        for member in self.cv.members:
-            if member != self.pid:
-                self.send(member, envelope)
+        cv = self.cv
+        if self._peers_vid != cv.vid:
+            self._peers = [m for m in cv.members if m != self.pid]
+            self._peers_vid = cv.vid
+        # One network call for the whole fan-out (peer order == the old
+        # per-member send order); (pid, vid) uniquely identifies the
+        # destination set, so the v3 network can memoize the group.
+        self.send_multicast(self._peers, envelope, token=(self.pid, cv.vid))
         self.to_deliver.purge_by(msg)
         self._note_processed(msg)
         if self.listeners.on_multicast is not None:
@@ -364,6 +382,30 @@ class SVSProcess(SimProcess):
         """Extension point for subclasses multiplexing extra streams."""
         raise TypeError(f"unknown stream: {envelope.stream!r}")
 
+    def _fast_deliver(self, sender: ProcessId, payload: Any) -> None:
+        """Batched-delivery shortcut consumed by the v3 network.
+
+        Semantically identical to ``SimProcess._deliver`` (the crash
+        check) followed by :meth:`on_message` routing, with the dominant
+        case — an SVS-stream :class:`DataMessage` to a settled member —
+        dispatched straight to t3.  Everything else (joining members,
+        control messages, subclassed envelopes or messages) falls back to
+        the generic router, so behaviour is byte-identical to the
+        per-event path; only the Python dispatch overhead differs.
+        """
+        if self.crashed:
+            return
+        if (
+            not self.joining
+            and payload.__class__ is Envelope
+            and payload.stream == SVS_STREAM
+        ):
+            body = payload.body
+            if body.__class__ is DataMessage:
+                self._handle_data(sender, body)
+                return
+        self.on_message(sender, payload)
+
     # ------------------------------------------------------------------
     # t3 — data reception
     # ------------------------------------------------------------------
@@ -376,10 +418,9 @@ class SVSProcess(SimProcess):
         self._note_processed(msg)
         if self._covered(msg):
             return
-        self.to_deliver.append(msg)
         # Only the arriving message can introduce new dominations, so the
-        # single-message purge equals Figure 1's full purge here.
-        self.to_deliver.purge_by(msg)
+        # fused single-message purge equals Figure 1's full purge here.
+        self.to_deliver.append_purge(msg)
 
     def _covered(self, msg: DataMessage, deep: Optional[bool] = None) -> bool:
         """Is ``msg`` ⊑-covered by the messages accepted for delivery?

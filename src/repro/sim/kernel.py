@@ -52,7 +52,10 @@ __all__ = [
     "Event",
     "EventHandle",
     "Simulator",
+    "SimulatorV3",
     "SimulationError",
+    "derive_stream_seed",
+    "stream_rng",
 ]
 
 
@@ -130,6 +133,26 @@ def derive_stream_seed(master_seed: int, name: str) -> int:
     """
     digest = hashlib.sha256(f"{master_seed}|{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+def stream_rng(
+    master_seed: int, name: str, cache: Dict[str, random.Random]
+) -> random.Random:
+    """The named child generator for ``(master seed, name)``, memoized.
+
+    This is the one shared implementation of the stream contract: every
+    clock — the discrete-event :class:`Simulator` and the live
+    :class:`~repro.transport.clock.WallClock` — answers ``rng(name)``
+    through this helper, so a protocol component draws the *same* stream
+    for the same seed and name regardless of which substrate it runs on.
+    ``cache`` is the caller's per-instance memo table; a stream is created
+    on first use and returned as-is (with its consumed position) after.
+    """
+    gen = cache.get(name)
+    if gen is None:
+        gen = random.Random(derive_stream_seed(master_seed, name))
+        cache[name] = gen
+    return gen
 
 
 class Simulator:
@@ -231,11 +254,7 @@ class Simulator:
         comparisons — and the same seed reproduces the same streams on any
         machine regardless of ``PYTHONHASHSEED``.
         """
-        gen = self._rngs.get(name)
-        if gen is None:
-            gen = random.Random(derive_stream_seed(self._seed, name))
-            self._rngs[name] = gen
-        return gen
+        return stream_rng(self._seed, name, self._rngs)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -314,12 +333,11 @@ class Simulator:
     # Slot management
     # ------------------------------------------------------------------
 
-    def _refill(self) -> bool:
-        """Load the next non-empty slot into the (empty) active heap.
+    def _next_slot(self) -> Optional[List[_Entry]]:
+        """Pop, sort and return the next non-empty slot (None when dry).
 
-        Returns False when nothing is pending anywhere.  One batched
-        ``sort`` orders the whole slot; the sorted list is a valid binary
-        heap, so later same-slot arrivals can still be merged by push.
+        Shared by both engines: v2 merges the slot into its active heap,
+        v3 drains it in place by index (see :class:`SimulatorV3`).
         """
         while True:
             if self._bucket_heap:
@@ -327,11 +345,10 @@ class Simulator:
                 entries = self._buckets.pop(idx)
                 if len(entries) > 1:
                     entries.sort()
-                self._active.extend(entries)
                 self._active_idx = idx
-                return True
+                return entries
             if not self._overflow:
-                return False
+                return None
             # Wheel ran dry: advance the horizon to cover the earliest
             # overflow event and re-bucket everything inside it.
             overflow = self._overflow
@@ -349,6 +366,19 @@ class Simulator:
                     heappush(bucket_heap, idx)
                 else:
                     bucket.append(entry)
+
+    def _refill(self) -> bool:
+        """Load the next non-empty slot into the (empty) active heap.
+
+        Returns False when nothing is pending anywhere.  One batched
+        ``sort`` orders the whole slot; the sorted list is a valid binary
+        heap, so later same-slot arrivals can still be merged by push.
+        """
+        entries = self._next_slot()
+        if entries is None:
+            return False
+        self._active.extend(entries)
+        return True
 
     def _next_entry(self) -> Optional[_Entry]:
         """The earliest live entry, left in place (cancelled ones pruned)."""
@@ -444,6 +474,169 @@ class Simulator:
             f"Simulator(now={self.now:.6f}, pending={self.pending_events}, "
             f"processed={self._events_processed})"
         )
+
+
+class SimulatorV3(Simulator):
+    """Kernel v3: batch slot dispatch over the v2 slotted queue.
+
+    v2 drains a slot through a binary heap: one ``heappop`` per event even
+    though the slot was already fully sorted when it was loaded.  v3 keeps
+    the sorted slot as a flat list and walks it by index — the common case
+    per event is one bounds check, one list index and the dispatch, no
+    heap traffic at all.
+
+    Same-slot *late arrivals* (events scheduled, while the slot drains,
+    at a time that falls inside it) still go through the inherited
+    ``schedule``/``schedule_at`` fast paths, which push them onto the
+    active heap; the drain loop merges that (normally empty) spill heap
+    against the slot list entry by entry.  Because entries compare by
+    ``(time, priority, seq)`` and seq is unique, the merge reproduces the
+    v2 total order bit for bit — the differential suite in
+    ``tests/sim/test_kernel_diff.py`` and the property tests in
+    ``tests/sim/test_batch_dispatch.py`` pin this.
+
+    Cancellation stays lazy and O(1): cancelled entries are skipped at
+    their slot-list position (or pruned from the spill heap) exactly when
+    v2 would have skipped them at pop time.
+    """
+
+    __slots__ = ("_slot", "_cursor")
+
+    def __init__(
+        self,
+        seed: int = 0,
+        start_time: float = 0.0,
+        tick: float = 0.008,
+        span: int = 4096,
+    ) -> None:
+        super().__init__(seed=seed, start_time=start_time, tick=tick, span=span)
+        #: The active slot, sorted, drained in place by ``_cursor``.
+        self._slot: List[_Entry] = []
+        self._cursor = 0
+
+    @property
+    def pending_events(self) -> int:
+        return (len(self._slot) - self._cursor) + super().pending_events
+
+    def _refill(self) -> bool:
+        entries = self._next_slot()
+        if entries is None:
+            return False
+        self._slot.extend(entries)
+        return True
+
+    def _pop_next(self) -> Optional[_Entry]:
+        """Remove and return the earliest live entry (merge of slot list
+        and spill heap), refilling from the buckets as needed."""
+        active = self._active
+        slot = self._slot
+        while True:
+            cursor = self._cursor
+            if cursor < len(slot):
+                entry = slot[cursor]
+                if active and active[0] < entry:
+                    entry = heappop(active)
+                    if entry[5]:
+                        continue
+                    return entry
+                self._cursor = cursor + 1
+                if entry[5]:
+                    continue
+                return entry
+            if active:
+                entry = heappop(active)
+                if entry[5]:
+                    continue
+                return entry
+            if slot:
+                slot.clear()
+                self._cursor = 0
+            if self._next_slot_into(slot) is False:
+                return None
+
+    def _next_slot_into(self, slot: List[_Entry]) -> bool:
+        entries = self._next_slot()
+        if entries is None:
+            return False
+        slot.extend(entries)
+        return True
+
+    def step(self) -> bool:
+        entry = self._pop_next()
+        if entry is None:
+            return False
+        self.now = entry[0]
+        self._events_processed += 1
+        entry[3](*entry[4])
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        processed = 0
+        active = self._active
+        slot = self._slot
+        cursor = self._cursor
+        unbounded = until is None and max_events is None
+        try:
+            while not self._stopped:
+                # Batch dispatch: the sorted slot is consumed by index;
+                # the spill heap (same-slot late arrivals) is merged in
+                # by comparison and is empty in the common case.
+                from_heap = False
+                if cursor < len(slot):
+                    entry = slot[cursor]
+                    if active:
+                        head = active[0]
+                        if head < entry:
+                            if head[5]:
+                                heappop(active)
+                                continue
+                            entry = head
+                            from_heap = True
+                    if not from_heap and entry[5]:
+                        cursor += 1
+                        continue
+                elif active:
+                    entry = active[0]
+                    if entry[5]:
+                        heappop(active)
+                        continue
+                    from_heap = True
+                else:
+                    if slot:
+                        slot.clear()
+                    cursor = 0
+                    self._cursor = 0
+                    if self._next_slot_into(slot):
+                        continue
+                    break
+                if not unbounded:
+                    if until is not None and entry[0] > until:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        break
+                    executed += 1
+                if from_heap:
+                    heappop(active)
+                else:
+                    cursor += 1
+                self.now = entry[0]
+                processed += 1
+                entry[3](*entry[4])
+            if until is not None and self.now < until and not self._stopped:
+                self.now = until
+        finally:
+            self._cursor = cursor
+            self._events_processed += processed
+            self._running = False
 
 
 @dataclass

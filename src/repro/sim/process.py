@@ -37,6 +37,13 @@ class SimProcess:
     so a process is fully deterministic given its inputs.
     """
 
+    #: Optional batched-delivery shortcut used by the v3 network: a
+    #: callable with the exact semantics of :meth:`_deliver` (crash check
+    #: included) that a subclass may bind per instance to skip its own
+    #: message-routing dispatch on the hot path.  ``None`` means "use
+    #: :meth:`_deliver`"; v2 never consults it.
+    _fast_handler: Optional[Callable[[ProcessId, Any], None]] = None
+
     def __init__(self, pid: ProcessId, sim: Simulator, network: "Network") -> None:
         self.pid = pid
         self.sim = sim
@@ -97,6 +104,22 @@ class SimProcess:
         if self.crashed:
             return
         self.network.send(self.pid, dst, payload)
+
+    def send_multicast(
+        self, dsts: Any, payload: Any, token: Optional[Any] = None
+    ) -> None:
+        """Send ``payload`` to every destination, in iteration order.
+
+        Exactly a loop of :meth:`send` (one crash check up front — the
+        flag cannot change mid-call), but routed through
+        :meth:`Network.multicast <repro.sim.network.Network.multicast>`
+        so the v3 engine can batch the whole fan-out into one event.
+        ``token`` is the optional memoization token forwarded to the
+        network (see ``Network.multicast``).
+        """
+        if self.crashed:
+            return
+        self.network.multicast(self.pid, dsts, payload, token)
 
     def set_timer(self, name: str, delay: float, callback: Callable[[], None]) -> None:
         """(Re-)arm the named timer; a previous timer of that name is

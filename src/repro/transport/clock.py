@@ -37,7 +37,7 @@ import asyncio
 import random
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.sim.kernel import SimulationError, derive_stream_seed
+from repro.sim.kernel import SimulationError, stream_rng
 
 __all__ = ["WallClock", "WallClockHandle"]
 
@@ -118,11 +118,10 @@ class WallClock:
     # ------------------------------------------------------------------
 
     def rng(self, name: str = "default") -> random.Random:
-        gen = self._rngs.get(name)
-        if gen is None:
-            gen = random.Random(derive_stream_seed(self._seed, name))
-            self._rngs[name] = gen
-        return gen
+        """Identical derivation to the kernel: both clocks answer through
+        :func:`repro.sim.kernel.stream_rng`, the one shared implementation
+        of the seed-and-name stream contract."""
+        return stream_rng(self._seed, name, self._rngs)
 
     # ------------------------------------------------------------------
     # Scheduling

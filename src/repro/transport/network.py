@@ -152,6 +152,16 @@ class TransportNetwork:
             self.messages_duplicated += 1
             self.transport.send(src, dst, data)
 
+    def multicast(
+        self, src: ProcessId, dsts: Any, payload: Any, token: Any = None
+    ) -> None:
+        """One datagram per destination, in order — the live network has
+        no batched fast path (each send really is a separate wire write).
+        ``token`` is accepted for surface compatibility with
+        :meth:`repro.sim.network.Network.multicast` and ignored."""
+        for dst in dsts:
+            self.send(src, dst, payload)
+
     # ------------------------------------------------------------------
     # Receiving
     # ------------------------------------------------------------------

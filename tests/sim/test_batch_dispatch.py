@@ -1,0 +1,399 @@
+"""Property tests for the v3 batch dispatcher and its network fast path.
+
+``tests/sim/test_kernel_diff.py`` proves engine equivalence end-to-end on
+full protocol stacks; this suite attacks the same claim at the component
+level, where the failure modes are nameable:
+
+* **kernel dispatch order** — random schedule/cancel interleavings
+  (same-instant events, priorities, same-slot late arrivals, overflow
+  horizons, mid-slot ``run(until=...)`` pauses) must produce the exact
+  same callback trace on :class:`Simulator` and :class:`SimulatorV3`;
+* **lazy cancellation** — cancelling entries that already sit in v3's
+  sorted slot (or its spill heap) must skip them precisely where v2's
+  pop-time check would;
+* **per-edge RNG streams** — the v3 network's large vectorized latency
+  refills must consume each edge stream bit-for-bit like the scalar
+  path, including generator continuation after a block;
+* **fault latching** — random multicast/cut/heal/loss interleavings must
+  leave :class:`NetworkV3` byte-identical to :class:`Network` (traces,
+  counters, per-channel stats), i.e. the one-way fast-path latch and its
+  FIFO-clamp backfill lose nothing.
+
+The shared-stream contract between the simulated and wall-clock
+substrates (``rng(name)``) is pinned here too.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Simulator, SimulatorV3, derive_stream_seed
+from repro.sim.network import (
+    VECTOR_MIN_BATCH,
+    ConstantLatency,
+    Network,
+    NetworkV3,
+    UniformLatency,
+    _np,
+    _np_uniform_block,
+)
+from repro.sim.process import SimProcess
+
+ENGINES = (Simulator, SimulatorV3)
+
+
+# ----------------------------------------------------------------------
+# Kernel dispatch order under random schedule/cancel interleavings
+# ----------------------------------------------------------------------
+
+#: Delays chosen to land same-instant (0.0), inside the current 8 ms slot,
+#: exactly on slot boundaries, a few slots out, and past the 4096-slot
+#: horizon (forcing the overflow re-bucketing path).
+_DELAYS = [0.0, 1e-4, 0.004, 0.0079, 0.008, 0.05, 1.0, 40.0]
+
+_EVENT = st.tuples(
+    st.sampled_from(_DELAYS),
+    st.integers(min_value=-1, max_value=2),  # priority (ties + negatives)
+    st.lists(  # children spawned when the event fires
+        st.tuples(
+            st.sampled_from(_DELAYS),
+            st.integers(min_value=-1, max_value=2),
+            st.integers(min_value=0, max_value=2),  # respawn count
+        ),
+        max_size=3,
+    ),
+    st.one_of(st.none(), st.integers(min_value=0, max_value=255)),  # cancel
+)
+
+PROGRAMS = st.lists(_EVENT, min_size=1, max_size=16)
+
+RUN_MODES = st.sampled_from(["run", "step", "until", "max_events"])
+
+
+def _execute(sim_cls, program, mode):
+    """Run one schedule/cancel program; return everything observable.
+
+    Every event appends ``(now, tag)`` to the trace, may cancel one
+    earlier handle (index taken modulo the handle count, so both engines
+    resolve it identically as long as their orders agree — which is the
+    assertion), and spawns its children; a child with a respawn budget
+    re-schedules itself, so same-instant chains recurse through the
+    drain-time spill path.
+    """
+    sim = sim_cls(seed=7)
+    trace = []
+    handles = []
+    snapshots = []
+
+    def fire(tag, children, cancel):
+        trace.append((sim.now, tag))
+        if cancel is not None and handles:
+            handles[cancel % len(handles)].cancel()
+        for j, (delay, prio, respawn) in enumerate(children):
+            handles.append(
+                sim.schedule(delay, respawn_fire, (tag, j), delay, prio, respawn,
+                             priority=prio)
+            )
+
+    def respawn_fire(tag, delay, prio, respawn):
+        trace.append((sim.now, tag))
+        if respawn:
+            handles.append(
+                sim.schedule(delay, respawn_fire, (tag, "r", respawn), delay,
+                             prio, respawn - 1, priority=prio)
+            )
+
+    for i, (delay, prio, children, cancel) in enumerate(program):
+        handles.append(sim.schedule(delay, fire, i, children, cancel,
+                                    priority=prio))
+
+    if mode == "run":
+        sim.run()
+    elif mode == "step":
+        while sim.step():
+            pass
+    elif mode == "until":
+        # Pause mid-stream (possibly mid-slot for v3: the cursor must
+        # survive re-entry), snapshot, then drain.
+        sim.run(until=0.006)
+        snapshots.append((len(trace), sim.now, sim.pending_events,
+                          sim.events_processed))
+        sim.run(until=0.9)
+        snapshots.append((len(trace), sim.now, sim.pending_events))
+        sim.run()
+    else:  # max_events
+        sim.run(max_events=3)
+        snapshots.append((len(trace), sim.now, sim.events_processed))
+        sim.run()
+
+    return {
+        "trace": trace,
+        "snapshots": snapshots,
+        "now": sim.now,
+        "events_processed": sim.events_processed,
+        "pending": sim.pending_events,
+    }
+
+
+class TestDispatchOrderEquivalence:
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(program=PROGRAMS, mode=RUN_MODES)
+    def test_random_interleavings_trace_identical(self, program, mode):
+        assert _execute(Simulator, program, mode) == \
+            _execute(SimulatorV3, program, mode)
+
+    def test_same_instant_priority_order(self):
+        """Ties at one instant resolve by (priority, seq) on both engines."""
+        def trace_of(sim_cls):
+            sim = sim_cls()
+            out = []
+            for i, prio in enumerate([2, 0, -1, 0, 1]):
+                sim.schedule(0.001, out.append, (prio, i), priority=prio)
+            sim.run()
+            return out
+
+        a, b = trace_of(Simulator), trace_of(SimulatorV3)
+        assert a == b
+        assert a == sorted(a)  # (priority, insertion order)
+
+    def test_event_cancels_later_same_slot_event(self):
+        """A firing event cancels a sibling already inside the sorted
+        slot being drained — v3 must skip it at its list position."""
+        def trace_of(sim_cls):
+            sim = sim_cls()
+            out = []
+            victim = sim.schedule(0.002, out.append, "victim")
+            sim.schedule(0.001, lambda: (out.append("killer"),
+                                         victim.cancel()))
+            sim.schedule(0.003, out.append, "after")
+            sim.run()
+            return out, sim.events_processed
+
+        assert trace_of(Simulator) == trace_of(SimulatorV3) == \
+            (["killer", "after"], 2)
+
+    def test_late_arrival_merges_into_draining_slot(self):
+        """An event scheduled *during* the drain, at a time inside the
+        slot already loaded, must run in this pass, ordered against the
+        remaining slot entries — the spill-heap merge."""
+        def trace_of(sim_cls):
+            sim = sim_cls()
+            out = []
+
+            def first():
+                out.append("first")
+                # Lands between "first" (0.001) and "third" (0.004), in
+                # the slot currently being drained.
+                sim.schedule(0.002, out.append, "late")
+                # Same instant as "third" but lower priority value: must
+                # run *before* it despite being scheduled later.
+                sim.schedule_at(0.004, out.append, "late-prio",
+                                priority=-1)
+
+            sim.schedule(0.001, first)
+            sim.schedule(0.004, out.append, "third")
+            sim.run()
+            return out
+
+        assert trace_of(Simulator) == trace_of(SimulatorV3) == \
+            ["first", "late", "late-prio", "third"]
+
+
+# ----------------------------------------------------------------------
+# Shared stream contract: Simulator / SimulatorV3 / WallClock
+# ----------------------------------------------------------------------
+
+
+class TestStreamRngContract:
+    def test_derive_stream_seed_pinned(self):
+        """Literal pins: the SHA-256 derivation is part of the on-disk
+        reproducibility contract (golden fixtures bake these streams)."""
+        assert derive_stream_seed(0, "default") == 1112831937369694780
+        assert derive_stream_seed(42, "network.0.1") == 12248474279277685243
+        assert derive_stream_seed(2002, "consumer.3") == 12967646813682972167
+
+    def test_simulator_and_wallclock_share_streams(self):
+        """``rng(name)`` answers identically on the discrete-event kernel
+        and the live wall clock — one implementation, one stream per
+        (seed, name), whatever the substrate."""
+        from repro.transport.clock import WallClock
+
+        for seed in (0, 99):
+            sim = Simulator(seed=seed)
+            clock = WallClock(seed=seed)
+            for name in ("default", "network.0.1", "faults.2.3", "jitter"):
+                assert [sim.rng(name).random() for _ in range(16)] == \
+                    [clock.rng(name).random() for _ in range(16)]
+
+    def test_v3_inherits_identical_streams(self):
+        a, b = Simulator(seed=31).rng("x"), SimulatorV3(seed=31).rng("x")
+        assert [a.random() for _ in range(8)] == [b.random() for _ in range(8)]
+
+    def test_streams_are_memoized_and_independent(self):
+        sim = Simulator(seed=5)
+        first = sim.rng("a")
+        first.random()
+        # Same object back, with its consumed position.
+        assert sim.rng("a") is first
+        # A sibling stream is unperturbed by draws on "a".
+        fresh = Simulator(seed=5)
+        assert sim.rng("b").random() == fresh.rng("b").random()
+
+
+# ----------------------------------------------------------------------
+# Vectorized per-edge latency draws
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(_np is None, reason="numpy not available")
+class TestNumpyUniformBlock:
+    @pytest.mark.parametrize("seed,n", [(0, 1), (1, 17), (2, VECTOR_MIN_BATCH),
+                                        (3, 1024), (123456, 2500)])
+    def test_block_matches_scalar_loop_bit_for_bit(self, seed, n):
+        low, high = 0.0005, 0.0015
+        scalar, block = random.Random(seed), random.Random(seed)
+        expected = [scalar.uniform(low, high) for _ in range(n)]
+        assert _np_uniform_block(block, low, high, n) == expected
+
+    def test_generator_continues_exactly_after_block(self):
+        """The state transplant must leave the Python generator exactly
+        where the scalar loop would have — later scalar draws (and the
+        full generator state) agree."""
+        scalar, block = random.Random(777), random.Random(777)
+        [scalar.uniform(0.0, 1.0) for _ in range(1024)]
+        _np_uniform_block(block, 0.0, 1.0, 1024)
+        assert block.getstate() == scalar.getstate()
+        assert [block.uniform(0.0, 1.0) for _ in range(64)] == \
+            [scalar.uniform(0.0, 1.0) for _ in range(64)]
+
+
+class _Recorder(SimProcess):
+    """Process that logs every delivery with its exact timestamp."""
+
+    def __init__(self, pid, sim, network):
+        super().__init__(pid, sim, network)
+        self.log = []
+
+    def on_message(self, sender, payload):
+        self.log.append((self.sim.now, sender, payload))
+
+
+def _drain_network(net_cls):
+    """1500+ sends per hot edge under uniform latency: v3's 1024-draw
+    refills vectorize (numpy present) while v2 stays on 64-draw scalar
+    batches; per-edge stream order makes the delivery times identical."""
+    sim = Simulator(seed=5)
+    net = net_cls(sim, UniformLatency(sim, 0.0005, 0.0015))
+    procs = [_Recorder(pid, sim, net) for pid in range(3)]
+    for i in range(1500):
+        sim.schedule_at(i * 0.0001, net.send, 0, 1, i)
+        if i % 7 == 0:  # interleaved traffic on a second edge
+            sim.schedule_at(i * 0.0001, net.send, 2, 1, ("b", i))
+    sim.run()
+    return (
+        [p.log for p in procs],
+        net.messages_sent,
+        net.messages_delivered,
+        repr(net.channel_stats(0, 1)),
+        repr(net.channel_stats(2, 1)),
+    )
+
+
+class TestBatchedLatencyDraws:
+    def test_draw_order_invariant_under_batch_size(self):
+        assert _drain_network(Network) == _drain_network(NetworkV3)
+
+
+# ----------------------------------------------------------------------
+# Fault interleavings: fast-path latch equivalence
+# ----------------------------------------------------------------------
+
+_N = 4
+
+_FAULT_OP = st.one_of(
+    st.tuples(st.just("mcast"), st.integers(0, _N - 1)),
+    st.tuples(st.just("cut"), st.integers(0, _N - 1), st.integers(0, _N - 1)),
+    st.tuples(st.just("heal"), st.integers(0, _N - 1), st.integers(0, _N - 1)),
+    st.tuples(st.just("loss"), st.integers(0, _N - 1), st.integers(0, _N - 1),
+              st.sampled_from([0.0, 0.3, 1.0])),
+    st.tuples(st.just("crash"), st.integers(0, _N - 1)),
+)
+
+_FAULT_SCRIPT = st.lists(
+    st.tuples(st.sampled_from([0.0, 0.001, 0.0035]), _FAULT_OP),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _run_fault_script(net_cls, script):
+    """Execute the timed op script; return every observable the two
+    network implementations could disagree on."""
+    sim = Simulator(seed=13)
+    net = net_cls(sim, ConstantLatency(0.001))
+    procs = [_Recorder(pid, sim, net) for pid in range(_N)]
+
+    def apply(op):
+        kind = op[0]
+        if kind == "mcast":
+            src = op[1]
+            dsts = [d for d in range(_N) if d != src]
+            procs[src].send_multicast(dsts, f"m@{sim.now:.4f}",
+                                      token=(src, 0))
+        elif kind == "cut":
+            net.cut(op[1], op[2])
+        elif kind == "heal":
+            net.heal(op[1], op[2])
+        elif kind == "loss":
+            net.set_link_fault(src=op[1], dst=op[2], loss=op[3])
+        else:  # crash
+            procs[op[1]].crash()
+
+    at = 0.0
+    for gap, op in script:
+        at += gap  # gap 0.0 keeps ops (and fan-outs) at the same instant
+        sim.schedule_at(at, apply, op)
+    sim.run()
+    return {
+        "logs": [p.log for p in procs],
+        "sent": net.messages_sent,
+        "delivered": net.messages_delivered,
+        "dropped": net.messages_dropped,
+        "stats": {
+            (s, d): repr(net.channel_stats(s, d))
+            for s in range(_N) for d in range(_N) if s != d
+        },
+    }
+
+
+class TestFaultLatchEquivalence:
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(script=_FAULT_SCRIPT)
+    def test_interleaved_faults_byte_identical(self, script):
+        """Whatever the cut/loss/crash timing — before, between, or at
+        the same instant as fan-outs — the latched v3 network tells the
+        same story as v2: traces, counters and per-channel stats."""
+        assert _run_fault_script(Network, script) == \
+            _run_fault_script(NetworkV3, script)
+
+    def test_latch_backfills_fifo_clamp(self):
+        """Leaving the fast path mid-stream reconstructs the per-channel
+        FIFO clamp from the last fast fan-out, so post-latch deliveries
+        can never be scheduled before pre-latch ones."""
+        script = [
+            (0.0, ("mcast", 0)),       # fast-path fan-out at t=0
+            (0.0, ("cut", 2, 3)),      # latch at the same instant
+            (0.0, ("mcast", 0)),       # now on the per-event path
+            (0.001, ("mcast", 1)),
+        ]
+        a = _run_fault_script(Network, script)
+        b = _run_fault_script(NetworkV3, script)
+        assert a == b
+        # Delivery timestamps per process are non-decreasing (FIFO held).
+        for log in b["logs"]:
+            times = [t for t, _, _ in log]
+            assert times == sorted(times)
