@@ -1,0 +1,79 @@
+"""Gates on dispatch backends, anchored to ``BENCH_sweep_dispatch.json``.
+
+Two layers, mirroring the sweep-cache gate:
+
+1. the committed snapshot must record every backend reproducing the
+   serial Figure 4 aggregate byte-for-byte, both ``local-pool`` chunking
+   variants, the ssh mode it ran under, and a sleep-bound concurrency
+   measurement clearing ≥ 1.7× with two subprocess workers — checked
+   structurally so the numbers cannot silently rot;
+2. an opt-in live gate (``BENCH_GATE=1``) re-measures the concurrency
+   grid on *this* machine and asserts the same 1.7× bar.  The grid is
+   sleep-bound, so the bar holds on single-core machines too — workers
+   overlap their sleeps regardless of CPU count.
+"""
+
+import json
+import os
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+import bench_sweep_dispatch
+
+EXPECTED_BACKENDS = ("local-pool", "local-pool-chunk1", "subprocess", "ssh")
+
+
+class TestRecordedBaseline:
+    @pytest.fixture(scope="class")
+    def data(self):
+        assert bench_sweep_dispatch.BENCH_FILE.exists(), (
+            "BENCH_sweep_dispatch.json missing — emit it with "
+            "`python benchmarks/bench_sweep_dispatch.py --emit`"
+        )
+        return json.loads(bench_sweep_dispatch.BENCH_FILE.read_text())
+
+    def test_schema(self, data):
+        assert data["schema"] == bench_sweep_dispatch.SCHEMA_VERSION
+        current = data["current"]
+        for field in ("cpus", "workers", "serial_s", "backends",
+                      "concurrency"):
+            assert field in current, f"snapshot misses {field}"
+
+    def test_every_backend_recorded_byte_identical(self, data):
+        backends = data["current"]["backends"]
+        for name in EXPECTED_BACKENDS:
+            assert name in backends, f"snapshot misses backend {name}"
+            assert backends[name]["byte_identical"] is True, name
+
+    def test_ssh_mode_recorded(self, data):
+        assert data["current"]["backends"]["ssh"]["mode"] in ("shim", "real")
+
+    def test_chunksize_variants_recorded(self, data):
+        """Satellite: chunksize=1 (historical) vs adaptive, side by side."""
+        backends = data["current"]["backends"]
+        assert backends["local-pool-chunk1"]["chunksize"] == 1
+        assert backends["local-pool"]["chunksize"] >= 1
+
+    def test_recorded_concurrency_meets_bar(self, data):
+        conc = data["current"]["concurrency"]
+        assert conc["byte_identical"] is True
+        assert conc["speedup"] >= 1.7, conc
+
+
+@pytest.mark.skipif(
+    os.environ.get("BENCH_GATE") != "1",
+    reason="wall-clock gate is opt-in (BENCH_GATE=1)",
+)
+class TestLiveConcurrency:
+    @pytest.fixture(scope="class")
+    def conc(self):
+        return bench_sweep_dispatch.measure_concurrency()
+
+    def test_dispatched_output_byte_identical(self, conc):
+        assert conc["byte_identical"] is True
+
+    def test_two_workers_clear_the_bar(self, conc):
+        assert conc["speedup"] >= 1.7, conc

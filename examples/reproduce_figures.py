@@ -7,11 +7,19 @@ would consume.  Expect a few minutes of wall-clock time (the Figure 5
 sweeps bisect threshold rates across seven buffer sizes at full trace
 length).
 
-Run:  python examples/reproduce_figures.py [--fast] [--workers N] [--cache DIR]
+Run:  python examples/reproduce_figures.py [--fast] [--workers N]
+          [--cache DIR] [--engine {v2,v3}] [--dispatch BACKEND]
 
 ``--workers N`` fans the grid-shaped experiments (Figures 4–5, the
 view-change table, the ablations) out to N worker processes via the sweep
 engine; results are identical to the serial run.
+
+``--engine v3`` runs every kernel-backed cell on the batch-dispatch
+engine (see ``docs/kernel.md``) — byte-identical tables, faster cells.
+
+``--dispatch BACKEND`` routes cells through a registered dispatch backend
+(``local-pool``, ``subprocess``, ``ssh``; see ``docs/sweeps-dispatch.md``)
+instead of the in-process pool; output is byte-identical regardless.
 
 ``--cache DIR`` memoises every (cell, replicate) run in a content-addressed
 on-disk store (see ``docs/sweeps-cache.md``): the first run populates it,
@@ -24,8 +32,8 @@ import argparse
 import time
 
 import repro.analysis.experiments as exp
-from repro import workloads
 from repro.sweep import SweepCache
+from repro.workload import portable_workload
 
 
 def main():
@@ -33,38 +41,44 @@ def main():
     parser.add_argument("--fast", action="store_true")
     parser.add_argument("--workers", type=int, default=0)
     parser.add_argument("--cache", default=None, metavar="DIR")
+    parser.add_argument("--engine", choices=("v2", "v3"), default="v2")
+    parser.add_argument("--dispatch", default=None, metavar="BACKEND")
     args = parser.parse_args()
     fast = args.fast
     workers = args.workers
+    engine = args.engine
+    dispatch = args.dispatch
     # One cache serves every figure: its session counters accumulate
     # across all the sweeps below and flush once per sweep.
     cache = SweepCache(args.cache) if args.cache else None
     if fast:
-        trace = workloads.create("game", rounds=2000)
+        # portable_workload stamps the rebuild recipe, so the fast trace
+        # can cross a --dispatch subprocess/ssh worker boundary too.
+        trace = portable_workload("game", rounds=2000)
         buffers = (4, 12, 20, 28)
         probes = 4
     else:
         trace = exp.default_trace()
         buffers = exp.DEFAULT_BUFFERS
         probes = 8
+    grid = dict(workers=workers, cache=cache, engine=engine,
+                dispatch=dispatch)
 
     start = time.time()
     before = _counters(args.cache) if cache else None
     exp.workload_stats(trace, show=True)
     exp.figure_3a(trace, top=50, show=True)
     exp.figure_3b(trace, show=True)
-    exp.figure_4a(trace, show=True, workers=workers, cache=cache)
-    exp.figure_4b(trace, show=True, workers=workers, cache=cache)
-    exp.figure_5a(trace, buffers=buffers, show=True, workers=workers, cache=cache)
-    exp.figure_5b(
-        trace, buffers=buffers, probes=probes, show=True, workers=workers,
-        cache=cache,
-    )
-    exp.view_change_latency_table(show=True, workers=workers, cache=cache)
-    exp.churn_table(show=True, workers=workers, cache=cache)
-    exp.ablation_k(trace, show=True, workers=workers, cache=cache)
-    exp.ablation_representation(trace, show=True, workers=workers, cache=cache)
-    exp.ablation_players(show=True, workers=workers, cache=cache)
+    exp.figure_4a(trace, show=True, **grid)
+    exp.figure_4b(trace, show=True, **grid)
+    exp.figure_5a(trace, buffers=buffers, show=True, **grid)
+    exp.figure_5b(trace, buffers=buffers, probes=probes, show=True, **grid)
+    exp.view_change_latency_table(show=True, **grid)
+    exp.churn_table(show=True, **grid)
+    exp.ablation_k(trace, show=True, **grid)
+    exp.ablation_representation(trace, show=True, **grid)
+    exp.ablation_players(show=True, workers=workers, cache=cache,
+                         dispatch=dispatch)
     print(f"\ntotal wall-clock: {time.time() - start:.1f}s")
     if cache:
         after = _counters(args.cache)

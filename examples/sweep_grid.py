@@ -12,24 +12,31 @@ Two demonstrations of the ``repro.sweep`` engine:
    written to JSON.
 
 Run:  python examples/sweep_grid.py [--smoke] [--workers N] [--out FILE]
-                                    [--cache DIR]
+                                    [--cache DIR] [--dispatch BACKEND]
 
 ``--cache DIR`` runs both sweeps through the content-addressed cell cache
 (``docs/sweeps-cache.md``): re-running with the same arguments computes
 zero cells and writes a byte-identical ``--out`` file — the property CI's
 warm-cache lane asserts.
+
+``--dispatch BACKEND`` routes cells through a registered dispatch backend
+(``local-pool``, ``subprocess``, ``ssh`` — ``docs/sweeps-dispatch.md``);
+CI's sweep-dispatch lane ``cmp``s a ``--dispatch subprocess`` run's output
+against the serial run's.
 """
 
 import argparse
 import time
 
-from repro import ScenarioSweep, workloads
+from repro import ScenarioSweep
 from repro.analysis.experiments import figure_4_sweep
+from repro.workload import portable_workload
 
 
-def figure_sweep(trace, rates, workers, cache=None):
+def figure_sweep(trace, rates, workers, cache=None, dispatch=None):
     result = figure_4_sweep(
-        trace, buffer_size=15, rates=rates, workers=workers, cache=cache
+        trace, buffer_size=15, rates=rates, workers=workers, cache=cache,
+        dispatch=dispatch,
     )
     print(f"\n== Figure 4(a) via one Sweep call ({result.n_runs} cells) ==")
     print(f"{'msg/s':>8} {'reliable':>10} {'semantic':>10}")
@@ -42,7 +49,7 @@ def figure_sweep(trace, rates, workers, cache=None):
         )
 
 
-def scenario_sweep(rounds, seeds, workers, out, cache=None):
+def scenario_sweep(rounds, seeds, workers, out, cache=None, dispatch=None):
     sweep = (
         ScenarioSweep(
             base={
@@ -58,7 +65,7 @@ def scenario_sweep(rounds, seeds, workers, out, cache=None):
         .axis("n", [3, 5])
         .axis("latency_model", ["constant", "lognormal"])
     )
-    result = sweep.run(workers=workers, cache=cache)
+    result = sweep.run(workers=workers, cache=cache, dispatch=dispatch)
     assert result.ok, result.violations  # every cell was invariant-checked
     print(
         f"\n== Scenario grid: n × latency model, {seeds} seeds/cell "
@@ -81,21 +88,26 @@ def main():
     parser.add_argument("--workers", type=int, default=0)
     parser.add_argument("--out", default="sweep_result.json")
     parser.add_argument("--cache", default=None, metavar="DIR")
+    parser.add_argument("--dispatch", default=None, metavar="BACKEND")
     args = parser.parse_args()
     cache = args.cache
+    dispatch = args.dispatch
 
+    # portable_workload stamps the rebuild recipe, so the trace context
+    # survives a --dispatch subprocess/ssh worker boundary.
     if args.smoke:
-        trace = workloads.create("game", rounds=1500)
+        trace = portable_workload("game", rounds=1500)
         rates = [80, 40, 20]
         rounds, seeds = 200, 2
     else:
-        trace = workloads.create("game")
+        trace = portable_workload("game")
         rates = [140, 100, 73, 40, 28, 20]
         rounds, seeds = 600, 3
 
     start = time.time()
-    figure_sweep(trace, rates, args.workers, cache=cache)
-    scenario_sweep(rounds, seeds, args.workers, args.out, cache=cache)
+    figure_sweep(trace, rates, args.workers, cache=cache, dispatch=dispatch)
+    scenario_sweep(rounds, seeds, args.workers, args.out, cache=cache,
+                   dispatch=dispatch)
     print(f"total wall-clock: {time.time() - start:.1f}s")
 
 

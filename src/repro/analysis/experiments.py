@@ -59,6 +59,7 @@ from repro.workload.trace import (
 
 __all__ = [
     "default_trace",
+    "TraceContext",
     "workload_stats",
     "figure_3a",
     "figure_3b",
@@ -91,11 +92,73 @@ PAPER_FIG5B = {24: (342.0, 857.0)}  # buffer -> (reliable, semantic) ms
 
 
 def default_trace() -> Trace:
-    """The calibrated 5-player session trace (generated once, cached)."""
+    """The calibrated 5-player session trace (generated once, cached).
+
+    Built through :func:`repro.workload.portable_workload`, so the trace
+    carries its rebuild recipe and can serve as the shared context of a
+    dispatched sweep (``dispatch="subprocess"``/``"ssh"``): workers
+    regenerate it deterministically instead of receiving it over the wire.
+    """
     global _default_trace
     if _default_trace is None:
-        _default_trace = workloads.create("game")
+        from repro.workload import portable_workload
+
+        _default_trace = portable_workload("game")
     return _default_trace
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A sweep context pairing the shared trace with the kernel engine.
+
+    The engine must *not* travel in cell params — seeds are derived from
+    the params dict, so adding a key would change every replicate seed and
+    break the golden byte-identity.  It rides in the context instead.  For
+    ``engine="v2"`` the entry points keep passing the bare trace (token
+    and shards unchanged); a ``TraceContext`` appears only for ``"v3"``,
+    whose cache token is deliberately distinct — the engines are proven
+    byte-identical by the differential harness, but shards stay
+    attributable to the engine that computed them.
+    """
+
+    trace: Trace
+    engine: str = "v2"
+
+    def cache_token(self) -> str:
+        token = self.trace.cache_token()
+        if self.engine == "v2":
+            return token
+        return f"{token}|engine={self.engine}"
+
+    def worker_recipe(self) -> Optional[Dict[str, Any]]:
+        inner = self.trace.worker_recipe()
+        if inner is None:
+            return None
+        return {
+            "kind": "factory",
+            "path": "repro.analysis.experiments:_rebuild_trace_context",
+            "params": {"workload": inner, "engine": self.engine},
+        }
+
+
+def _rebuild_trace_context(
+    workload: Dict[str, Any], engine: str = "v2"
+) -> "TraceContext":
+    """Worker-side factory behind :meth:`TraceContext.worker_recipe`."""
+    from repro.sweep.worker import build_context
+
+    return TraceContext(trace=build_context(workload), engine=engine)
+
+
+def _trace_engine(context: Any) -> Tuple[Trace, str]:
+    """(trace, engine) from a cell context that may be either form."""
+    if isinstance(context, TraceContext):
+        return context.trace, context.engine
+    return context, "v2"
+
+
+def _sweep_context(trace: Trace, engine: str) -> Any:
+    return trace if engine == "v2" else TraceContext(trace=trace, engine=engine)
 
 
 def _print_rows(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
@@ -187,15 +250,17 @@ DEFAULT_RATES = (140, 120, 100, 80, 73, 60, 50, 40, 30, 28, 20)
 
 
 def _figure_4_cell(
-    params: Mapping[str, Any], seed: int, trace: Trace
+    params: Mapping[str, Any], seed: int, context: Any
 ) -> Dict[str, float]:
     """One (consumer rate × protocol) point of the Figure 4 grid."""
+    trace, engine = _trace_engine(context)
     result = run_slow_receiver(
         trace,
         ThroughputConfig(
             buffer_size=params["buffer_size"],
             consumer_rate=float(params["consumer_rate"]),
             semantic=params["semantic"],
+            engine=engine,
         ),
     )
     return {
@@ -212,6 +277,9 @@ def figure_4_sweep(
     rates: Sequence[int] = DEFAULT_RATES,
     workers: Optional[int] = None,
     cache: Any = None,
+    engine: str = "v2",
+    dispatch: Any = None,
+    dispatch_params: Optional[Mapping[str, Any]] = None,
 ) -> SweepResult:
     """The full Figure 4 grid (both panels read from it)."""
     trace = trace or default_trace()
@@ -219,7 +287,14 @@ def figure_4_sweep(
         Sweep(base={"buffer_size": buffer_size})
         .axis("consumer_rate", list(rates))
         .axis("semantic", [False, True])
-        .run(_figure_4_cell, workers=workers, context=trace, cache=cache)
+        .run(
+            _figure_4_cell,
+            workers=workers,
+            context=_sweep_context(trace, engine),
+            cache=cache,
+            dispatch=dispatch,
+            dispatch_params=dispatch_params,
+        )
     )
 
 
@@ -243,9 +318,15 @@ def figure_4a(
     show: bool = False,
     workers: Optional[int] = None,
     cache: Any = None,
+    engine: str = "v2",
+    dispatch: Any = None,
+    dispatch_params: Optional[Mapping[str, Any]] = None,
 ) -> List[Tuple[int, float, float]]:
     """Figure 4(a): producer idle % vs consumer rate, reliable vs semantic."""
-    sweep = figure_4_sweep(trace, buffer_size, rates, workers, cache)
+    sweep = figure_4_sweep(
+        trace, buffer_size, rates, workers, cache, engine, dispatch,
+        dispatch_params,
+    )
     rows = _figure_4_rows(sweep, rates, "producer_idle_pct")
     if show:
         _print_rows(
@@ -263,9 +344,15 @@ def figure_4b(
     show: bool = False,
     workers: Optional[int] = None,
     cache: Any = None,
+    engine: str = "v2",
+    dispatch: Any = None,
+    dispatch_params: Optional[Mapping[str, Any]] = None,
 ) -> List[Tuple[int, float, float]]:
     """Figure 4(b): mean buffer occupancy vs consumer rate."""
-    sweep = figure_4_sweep(trace, buffer_size, rates, workers, cache)
+    sweep = figure_4_sweep(
+        trace, buffer_size, rates, workers, cache, engine, dispatch,
+        dispatch_params,
+    )
     rows = _figure_4_rows(sweep, rates, "mean_occupancy")
     if show:
         _print_rows(
@@ -284,12 +371,14 @@ DEFAULT_BUFFERS = (4, 8, 12, 16, 20, 24, 28)
 
 
 def _figure_5a_cell(
-    params: Mapping[str, Any], seed: int, trace: Trace
+    params: Mapping[str, Any], seed: int, context: Any
 ) -> Dict[str, float]:
     """One buffer-size point: a whole threshold-rate bisection."""
+    trace, engine = _trace_engine(context)
     return {
         "threshold_rate": threshold_rate(
-            trace, params["buffer_size"], semantic=params["semantic"]
+            trace, params["buffer_size"], semantic=params["semantic"],
+            engine=engine,
         )
     }
 
@@ -300,6 +389,9 @@ def figure_5a(
     show: bool = False,
     workers: Optional[int] = None,
     cache: Any = None,
+    engine: str = "v2",
+    dispatch: Any = None,
+    dispatch_params: Optional[Mapping[str, Any]] = None,
 ) -> List[Tuple[int, int, int]]:
     """Figure 5(a): minimum tolerable consumer rate vs buffer size."""
     trace = trace or default_trace()
@@ -307,7 +399,14 @@ def figure_5a(
         Sweep()
         .axis("buffer_size", list(buffers))
         .axis("semantic", [False, True])
-        .run(_figure_5a_cell, workers=workers, context=trace, cache=cache)
+        .run(
+            _figure_5a_cell,
+            workers=workers,
+            context=_sweep_context(trace, engine),
+            cache=cache,
+            dispatch=dispatch,
+            dispatch_params=dispatch_params,
+        )
     )
     rows = [
         (
@@ -329,15 +428,17 @@ def figure_5a(
 
 
 def _figure_5b_cell(
-    params: Mapping[str, Any], seed: int, trace: Trace
+    params: Mapping[str, Any], seed: int, context: Any
 ) -> Dict[str, float]:
     """One buffer-size point: all perturbation probes for one protocol."""
+    trace, engine = _trace_engine(context)
     return {
         "tolerance_s": perturbation_tolerance(
             trace,
             params["buffer_size"],
             semantic=params["semantic"],
             probes=params["probes"],
+            engine=engine,
         )
     }
 
@@ -349,6 +450,9 @@ def figure_5b(
     show: bool = False,
     workers: Optional[int] = None,
     cache: Any = None,
+    engine: str = "v2",
+    dispatch: Any = None,
+    dispatch_params: Optional[Mapping[str, Any]] = None,
 ) -> List[Tuple[int, float, float]]:
     """Figure 5(b): tolerated full-stop perturbation length vs buffer size."""
     trace = trace or default_trace()
@@ -356,7 +460,14 @@ def figure_5b(
         Sweep(base={"probes": probes})
         .axis("buffer_size", list(buffers))
         .axis("semantic", [False, True])
-        .run(_figure_5b_cell, workers=workers, context=trace, cache=cache)
+        .run(
+            _figure_5b_cell,
+            workers=workers,
+            context=_sweep_context(trace, engine),
+            cache=cache,
+            dispatch=dispatch,
+            dispatch_params=dispatch_params,
+        )
     )
     rows = [
         (
@@ -382,15 +493,17 @@ def figure_5b(
 
 
 def _view_change_cell(
-    params: Mapping[str, Any], seed: int, trace: Trace
+    params: Mapping[str, Any], seed: int, context: Any
 ) -> Dict[str, float]:
     """One protocol's full-stack view-change measurement (Scenario-based,
     so the run is invariant-checked inside the measurement harness)."""
+    trace, engine = _trace_engine(context)
     result = measure_view_change_latency(
         trace,
         semantic=params["semantic"],
         slow_rate=params["slow_rate"],
         load_time=params["load_time"],
+        engine=engine,
     )
     return {
         "backlog_at_trigger": result.backlog_at_trigger,
@@ -406,13 +519,23 @@ def view_change_latency_table(
     show: bool = False,
     workers: Optional[int] = None,
     cache: Any = None,
+    engine: str = "v2",
+    dispatch: Any = None,
+    dispatch_params: Optional[Mapping[str, Any]] = None,
 ) -> List[Tuple[str, int, int, float]]:
     """View change under load: backlog, purges, app-perceived latency."""
     trace = trace or default_trace()
     sweep = (
         Sweep(base={"slow_rate": slow_rate, "load_time": load_time})
         .axis("semantic", [False, True])
-        .run(_view_change_cell, workers=workers, context=trace, cache=cache)
+        .run(
+            _view_change_cell,
+            workers=workers,
+            context=_sweep_context(trace, engine),
+            cache=cache,
+            dispatch=dispatch,
+            dispatch_params=dispatch_params,
+        )
     )
     rows = []
     for semantic in (False, True):
@@ -469,8 +592,12 @@ def _churn_cell(
 
     d = CHURN_DEFAULTS
     semantic = bool(params["semantic"])
+    # Engine rides in the (JSON, hence dispatch-portable) context so the
+    # cell params — and with them the derived seeds — never change.
+    engine = (context or {}).get("engine", "v2")
     result = (
         Scenario()
+        .engine(engine)
         .group(
             n=d["n"],
             relation="item-tagging" if semantic else "empty",
@@ -536,6 +663,9 @@ def churn_table(
     show: bool = False,
     workers: Optional[int] = None,
     cache: Any = None,
+    engine: str = "v2",
+    dispatch: Any = None,
+    dispatch_params: Optional[Mapping[str, Any]] = None,
 ) -> List[Tuple[float, float, int, int, float, float, int]]:
     """SVS under partition-heal churn: reliable vs semantic, per cell.
 
@@ -553,7 +683,14 @@ def churn_table(
         .axis("period", list(periods))
         .axis("loss", list(losses))
         .axis("semantic", [False, True])
-        .run(_churn_cell, workers=workers, cache=cache)
+        .run(
+            _churn_cell,
+            workers=workers,
+            context=None if engine == "v2" else {"engine": engine},
+            cache=cache,
+            dispatch=dispatch,
+            dispatch_params=dispatch_params,
+        )
     )
     rows = []
     for period in periods:
@@ -595,9 +732,10 @@ def churn_table(
 
 
 def _ablation_cell(
-    params: Mapping[str, Any], seed: int, trace: Trace
+    params: Mapping[str, Any], seed: int, context: Any
 ) -> Dict[str, float]:
     """Shared slow-receiver cell for the k and representation ablations."""
+    trace, engine = _trace_engine(context)
     result = run_slow_receiver(
         trace,
         ThroughputConfig(
@@ -606,6 +744,7 @@ def _ablation_cell(
             semantic=True,
             representation=params.get("representation", "k-enumeration"),
             k=params.get("k"),
+            engine=engine,
         ),
     )
     return {
@@ -622,6 +761,9 @@ def ablation_k(
     show: bool = False,
     workers: Optional[int] = None,
     cache: Any = None,
+    engine: str = "v2",
+    dispatch: Any = None,
+    dispatch_params: Optional[Mapping[str, Any]] = None,
 ) -> List[Tuple[int, float, float]]:
     """Sensitivity to the k-enumeration window (paper picks k = 2×buffer).
 
@@ -632,7 +774,14 @@ def ablation_k(
     sweep = (
         Sweep(base={"buffer_size": buffer_size, "consumer_rate": consumer_rate})
         .axis("k", list(ks))
-        .run(_ablation_cell, workers=workers, context=trace, cache=cache)
+        .run(
+            _ablation_cell,
+            workers=workers,
+            context=_sweep_context(trace, engine),
+            cache=cache,
+            dispatch=dispatch,
+            dispatch_params=dispatch_params,
+        )
     )
     rows = [
         (
@@ -659,6 +808,9 @@ def ablation_representation(
     show: bool = False,
     workers: Optional[int] = None,
     cache: Any = None,
+    engine: str = "v2",
+    dispatch: Any = None,
+    dispatch_params: Optional[Mapping[str, Any]] = None,
 ) -> List[Tuple[str, float, float]]:
     """Compare the three obsolescence representations of Section 4.2.
 
@@ -670,7 +822,14 @@ def ablation_representation(
     sweep = (
         Sweep(base={"buffer_size": buffer_size, "consumer_rate": consumer_rate})
         .axis("representation", list(representations))
-        .run(_ablation_cell, workers=workers, context=trace, cache=cache)
+        .run(
+            _ablation_cell,
+            workers=workers,
+            context=_sweep_context(trace, engine),
+            cache=cache,
+            dispatch=dispatch,
+            dispatch_params=dispatch_params,
+        )
     )
     rows = [
         (
@@ -712,17 +871,26 @@ def ablation_players(
     show: bool = False,
     workers: Optional[int] = None,
     cache: Any = None,
+    dispatch: Any = None,
+    dispatch_params: Optional[Mapping[str, Any]] = None,
 ) -> List[Tuple[int, float, float, float]]:
     """Player-count scaling (Section 5.2, last paragraph).
 
     The paper observes: with more players the message rate increases, the
     never-obsolete share decreases, and the distance between related
-    messages increases.
+    messages increases.  (No ``engine`` knob: the cell is pure trace
+    statistics — no kernel runs.)
     """
     sweep = (
         Sweep(base={"rounds": rounds})
         .axis("players", list(players))
-        .run(_players_cell, workers=workers, cache=cache)
+        .run(
+            _players_cell,
+            workers=workers,
+            cache=cache,
+            dispatch=dispatch,
+            dispatch_params=dispatch_params,
+        )
     )
     rows = [
         (

@@ -63,11 +63,27 @@ single-cell sweep to reproduce.  A shared ``context`` object may expose a
 ``prepare_worker()`` hook, invoked once per worker process (and once for
 serial runs), to warm per-process caches before the first cell runs.
 
+Cells can leave this machine: ``run(dispatch="subprocess", workers=4)``
+(or ``dispatch="ssh", dispatch_params={"hostfile": "hosts.txt"}``) fans
+cells out through a pluggable dispatch backend (:mod:`repro.sweep.dispatch`)
+speaking a newline-delimited JSON frame protocol (:mod:`repro.sweep.worker`)
+— cache-aware, straggler-resistant, crash-tolerant, and still
+byte-identical to a serial run.  See ``docs/sweeps-dispatch.md``.
+
 The architecture and the kernel hot path behind cell execution are
 documented in ``docs/architecture.md`` and ``docs/kernel.md``.
 """
 
 from repro.sweep.cache import SweepCache, code_fingerprint, context_token
+from repro.sweep.dispatch import (
+    DispatchBackend,
+    DispatchError,
+    DispatchStats,
+    LocalPoolDispatch,
+    SshDispatch,
+    SubprocessDispatch,
+    parse_hostfile,
+)
 from repro.sweep.executor import (
     SweepCellError,
     SweepInvariantError,
@@ -89,6 +105,13 @@ __all__ = [
     "Sweep",
     "SweepCache",
     "SweepError",
+    "DispatchBackend",
+    "DispatchError",
+    "DispatchStats",
+    "LocalPoolDispatch",
+    "SubprocessDispatch",
+    "SshDispatch",
+    "parse_hostfile",
     "SweepResult",
     "code_fingerprint",
     "context_token",

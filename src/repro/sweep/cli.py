@@ -12,6 +12,11 @@ Two subcommands over a cache directory (see :mod:`repro.sweep.cache`):
     *after* the snapshot — how CI's warm-cache lane asserts that the
     second pass alone hit ≥90%.
 
+    When the directory carries a ``dispatch-stats.json`` trail (written
+    by ``run_sweep(dispatch=...)``), ``stats`` also reports per-backend
+    dispatch timing: cells dispatched / stolen / re-issued, and the last
+    run's per-worker wall and busy times.
+
 ``repro-sweep gc DIR``
     Evict shards whose code fingerprint no longer matches the installed
     sources (plus unreadable ones).  ``--all`` clears the cache
@@ -41,8 +46,33 @@ def _human_bytes(n: int) -> str:
     return f"{n} B"  # pragma: no cover - unreachable
 
 
+def _dispatch_summary(path) -> Optional[dict]:
+    """Aggregate the ``dispatch-stats.json`` trail by backend (None if no
+    dispatched runs were ever recorded for this cache)."""
+    from repro.sweep.dispatch import load_dispatch_stats
+
+    runs = load_dispatch_stats(path).get("runs", [])
+    if not runs:
+        return None
+    by_backend: dict = {}
+    for run in runs:
+        agg = by_backend.setdefault(
+            run.get("backend", "?"),
+            {"runs": 0, "dispatched": 0, "stolen": 0, "reissued": 0,
+             "duplicates": 0, "wall_s": 0.0},
+        )
+        agg["runs"] += 1
+        for key in ("dispatched", "stolen", "reissued", "duplicates"):
+            agg[key] += int(run.get(key, 0))
+        agg["wall_s"] = round(agg["wall_s"] + float(run.get("wall_s", 0.0)), 6)
+    return {"by_backend": by_backend, "last": runs[-1]}
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     stats = cache_stats(args.dir)
+    dispatch = _dispatch_summary(args.dir)
+    if dispatch is not None:
+        stats["dispatch"] = dispatch
     if args.since:
         with open(args.since, "r", encoding="utf-8") as fh:
             snapshot = json.load(fh)
@@ -81,6 +111,25 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 f"{delta['misses']} misses over {delta['runs']} runs "
                 f"({f'{since_rate:.1%}' if since_rate is not None else 'n/a'})"
             )
+        if dispatch is not None:
+            print("  dispatch:")
+            for backend, agg in sorted(dispatch["by_backend"].items()):
+                print(
+                    f"    {backend}: {agg['runs']} runs, "
+                    f"{agg['dispatched']} dispatched, {agg['stolen']} stolen, "
+                    f"{agg['reissued']} re-issued, "
+                    f"{agg['duplicates']} duplicate results, "
+                    f"{agg['wall_s']:.2f}s wall"
+                )
+            last = dispatch["last"]
+            for label, w in sorted(last.get("per_worker", {}).items()):
+                flag = " CRASHED" if w.get("crashed") else ""
+                print(
+                    f"    last run [{last.get('backend', '?')}] {label}: "
+                    f"{w.get('cells', 0)} cells, "
+                    f"{w.get('busy_s', 0.0):.2f}s busy / "
+                    f"{w.get('wall_s', 0.0):.2f}s wall{flag}"
+                )
     if args.assert_hit_rate is not None:
         rate = stats["since_hit_rate"] if args.since else stats["hit_rate"]
         if rate is None or rate < args.assert_hit_rate:

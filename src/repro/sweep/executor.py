@@ -28,7 +28,6 @@ multiprocess paths share the same per-cell code, so ``workers=0`` and
 from __future__ import annotations
 
 import json
-import multiprocessing
 import pathlib
 import traceback
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
@@ -225,14 +224,29 @@ def run_sweep(
     progress: Optional[Callable[[int, int, CellRun], None]] = None,
     mp_context: Optional[str] = None,
     cache: Optional[Union[str, pathlib.Path, SweepCache]] = None,
+    chunksize: Union[int, str, None] = None,
+    dispatch: Any = None,
+    dispatch_params: Optional[Mapping[str, Any]] = None,
 ) -> SweepResult:
     """Execute every (cell, replicate) of ``sweep`` with ``runner``.
 
     ``workers=0``/``None``/``1`` runs serially in-process; ``workers>=2``
-    fans cells out to a :mod:`multiprocessing` pool (``mp_context`` picks
-    the start method; the platform default otherwise).  ``progress`` is
-    called in the parent as ``progress(done, total, run)`` after every
-    completed replicate.
+    fans cells out to the ``local-pool`` dispatch backend — a
+    :mod:`multiprocessing` pool (``mp_context`` picks the start method;
+    the platform default otherwise) whose ``chunksize`` adapts to the
+    task count unless pinned here.  ``progress`` is called in the parent
+    as ``progress(done, total, run)`` after every completed replicate.
+
+    ``dispatch`` selects any registered dispatch backend by name (or
+    takes a :class:`~repro.sweep.dispatch.DispatchBackend` instance):
+    ``"local-pool"``, ``"subprocess"`` (worker OS processes speaking the
+    :mod:`repro.sweep.worker` frame protocol over pipes), or ``"ssh"``
+    (the same protocol over ssh; hosts via ``dispatch_params``).  All
+    backends produce byte-identical aggregated JSON — scheduling never
+    leaks into results.  ``dispatch_params`` is passed to the backend
+    factory.  Framed backends re-import the runner by dotted path, so it
+    must be module-level, and ship the context as a portable spec (see
+    :func:`repro.sweep.dispatch.context_spec`).
 
     ``on_violation`` is the invariant policy: ``"raise"`` aborts on the
     first cell whose run violated the executable specification,
@@ -299,7 +313,27 @@ def run_sweep(
                 run = cache.store(runner, params, replicate, seed, run, ctx_tok)
             record(index, cell_index, run)
 
-        if workers is None or workers <= 1:
+        backend = None
+        if dispatch is not None:
+            from repro.sweep.dispatch import resolve_backend
+
+            backend = resolve_backend(
+                dispatch,
+                workers=workers if workers else None,
+                mp_context=mp_context,
+                chunksize=chunksize,
+                params=dispatch_params,
+            )
+        elif workers is not None and workers > 1:
+            from repro.sweep.dispatch import LocalPoolDispatch
+
+            backend = LocalPoolDispatch(
+                workers=workers, mp_context=mp_context, chunksize=chunksize
+            )
+        elif dispatch_params:
+            raise SweepError("dispatch_params requires dispatch=<backend>")
+
+        if backend is None:
             _prepare_context(context)
             for task in pending:
                 index, cell_index, run = _execute(
@@ -307,24 +341,22 @@ def run_sweep(
                 )
                 completed(index, cell_index, run)
         elif pending:
-            ctx = (
-                multiprocessing.get_context(mp_context)
-                if mp_context is not None
-                else multiprocessing.get_context()
+            from repro.sweep.dispatch import DispatchJob, record_dispatch
+
+            backend.execute(
+                DispatchJob(
+                    tasks=list(pending),
+                    runner=runner,
+                    context=context,
+                    keep_results=keep_results,
+                    emit=completed,
+                )
             )
-            with ctx.Pool(
-                processes=workers,
-                initializer=_init_worker,
-                initargs=(runner, context, keep_results),
-            ) as pool:
-                try:
-                    for index, cell_index, run in pool.imap_unordered(
-                        _run_task, pending, chunksize=1
-                    ):
-                        completed(index, cell_index, run)
-                except Exception:
-                    pool.terminate()
-                    raise
+            if cache is not None and backend.stats is not None:
+                entry = backend.stats.to_dict()
+                entry["cells_total"] = len(tasks)
+                entry["cells_cached"] = len(tasks) - len(pending)
+                record_dispatch(cache.path, entry)
     finally:
         if cache is not None:
             cache.flush_stats()

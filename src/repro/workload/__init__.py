@@ -1,5 +1,7 @@
 """Workloads: the calibrated game-trace generator and trace tooling."""
 
+from typing import Any
+
 from repro.workload.game import GameConfig, GameTraceGenerator, generate_game_trace
 from repro.workload.patterns import mixed_stream, periodic_updates, single_item_stream
 from repro.workload.trace import (
@@ -13,8 +15,26 @@ from repro.workload.trace import (
     to_data_messages,
 )
 
+def portable_workload(name: str, **params: Any) -> Trace:
+    """Create a registered workload trace stamped with its worker recipe.
+
+    The returned :class:`Trace` carries ``recipe = {"kind": "workload",
+    "name": ..., "params": ...}``, so it can serve as a sweep context for
+    the framed dispatch backends (``subprocess``/``ssh``): workers rebuild
+    the identical trace locally instead of receiving megabytes of messages
+    over the wire.  Generation is deterministic in ``params``, so the
+    rebuilt trace is byte-identical to this one.
+    """
+    from repro.registry import workloads
+
+    trace = workloads.create(name, **params)
+    trace.recipe = {"kind": "workload", "name": name, "params": dict(params)}
+    return trace
+
+
 __all__ = [
     "GameConfig",
+    "portable_workload",
     "GameTraceGenerator",
     "generate_game_trace",
     "MessageKind",

@@ -1,0 +1,67 @@
+"""The ``engine="v3"`` option threads from every analysis entry point down
+to the simulator and produces byte-identical results to the default v2
+path (the v3 kernel's guarantee, see ``docs/kernel.md``)."""
+
+import json
+
+import pytest
+
+import repro.analysis.experiments as exp
+from repro.analysis.experiments import TraceContext, _rebuild_trace_context
+from repro.analysis.throughput import ThroughputConfig
+from repro.workload import portable_workload
+
+
+class TestEngineValidation:
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            ThroughputConfig(consumer_rate=50.0, engine="v9")
+
+    def test_v3_accepted(self):
+        cfg = ThroughputConfig(consumer_rate=50.0, engine="v3")
+        assert cfg.engine == "v3"
+
+
+class TestTraceContext:
+    def test_v2_token_matches_bare_trace(self, short_game_trace):
+        ctx = TraceContext(trace=short_game_trace)
+        assert ctx.cache_token() == short_game_trace.cache_token()
+
+    def test_v3_token_differs(self, short_game_trace):
+        ctx = TraceContext(trace=short_game_trace, engine="v3")
+        assert ctx.cache_token() != short_game_trace.cache_token()
+        assert ctx.cache_token().endswith("|engine=v3")
+
+    def test_recipe_roundtrip_preserves_engine(self):
+        trace = portable_workload("game", rounds=200)
+        ctx = TraceContext(trace=trace, engine="v3")
+        spec = ctx.worker_recipe()
+        rebuilt = _rebuild_trace_context(**spec["params"])
+        assert isinstance(rebuilt, TraceContext)
+        assert rebuilt.engine == "v3"
+        assert rebuilt.trace.cache_token() == trace.cache_token()
+
+    def test_unstamped_trace_has_no_recipe(self, short_game_trace):
+        assert TraceContext(trace=short_game_trace).worker_recipe() is None
+
+
+@pytest.mark.slow
+class TestEngineEquivalence:
+    """v2 and v3 runs of the figure entry points are byte-identical."""
+
+    def test_figure_4a_identical(self, short_game_trace):
+        v2 = exp.figure_4a(short_game_trace, rates=(80, 30))
+        v3 = exp.figure_4a(short_game_trace, rates=(80, 30), engine="v3")
+        assert json.dumps(v2) == json.dumps(v3)
+
+    def test_view_change_table_identical(self, short_game_trace):
+        v2 = exp.view_change_latency_table(short_game_trace, load_time=10.0)
+        v3 = exp.view_change_latency_table(
+            short_game_trace, load_time=10.0, engine="v3"
+        )
+        assert json.dumps(v2) == json.dumps(v3)
+
+    def test_churn_table_identical(self):
+        v2 = exp.churn_table(periods=(1.0,), losses=(0.0,))
+        v3 = exp.churn_table(periods=(1.0,), losses=(0.0,), engine="v3")
+        assert json.dumps(v2) == json.dumps(v3)

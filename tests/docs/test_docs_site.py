@@ -47,6 +47,7 @@ class TestMkdocsConfig:
         assert "faults.md" in files
         assert "transport.md" in files
         assert "sweeps-cache.md" in files
+        assert "sweeps-dispatch.md" in files
 
 
 class TestInternalLinks:
@@ -245,6 +246,62 @@ class TestSweepCacheDocMatchesCode:
         readme = (REPO / "README.md").read_text()
         assert "--cache .sweep-cache" in readme
         assert "docs/sweeps-cache.md" in readme
+
+
+class TestSweepDispatchDocMatchesCode:
+    def test_every_backend_documented(self):
+        """A new dispatch backend cannot land without a row in the
+        sweeps-dispatch.md backend matrix."""
+        import repro.sweep  # noqa: F401  (registers the backends)
+        from repro.registry import dispatch_backends
+
+        text = (DOCS / "sweeps-dispatch.md").read_text()
+        missing = [n for n in dispatch_backends.names() if f"`{n}`" not in text]
+        assert not missing, f"sweeps-dispatch.md misses backends: {missing}"
+
+    def test_every_frame_type_documented(self):
+        """The wire-protocol tables must cover every frame the worker
+        speaks, and quote the current protocol version."""
+        from repro.sweep import worker
+
+        text = (DOCS / "sweeps-dispatch.md").read_text()
+        missing = [f for f in worker.FRAME_TYPES if f"`{f}`" not in text]
+        assert not missing, f"sweeps-dispatch.md misses frames: {missing}"
+        assert f"protocol version `{worker.PROTOCOL}`" in text
+
+    def test_scheduling_knobs_documented_and_real(self):
+        import inspect
+
+        from repro.sweep.dispatch import FramedDispatch, SshDispatch
+
+        text = (DOCS / "sweeps-dispatch.md").read_text()
+        assert "hostfile" in text and "max_copies" in text
+        sig = inspect.signature(FramedDispatch.__init__)
+        assert sig.parameters["max_copies"].default == 2
+        for param in ("hosts", "hostfile", "python", "pythonpath", "ssh_args"):
+            assert param in inspect.signature(SshDispatch.__init__).parameters
+            assert f"`{param}`" in text
+
+    def test_stats_trail_documented(self):
+        from repro.sweep.dispatch import DISPATCH_STATS_FILE
+
+        text = (DOCS / "sweeps-dispatch.md").read_text()
+        assert f"`{DISPATCH_STATS_FILE}`" in text
+        for counter in ("dispatched", "stolen", "re-issued", "duplicate"):
+            assert counter in text
+
+    def test_architecture_map_cites_dispatch(self):
+        text = (DOCS / "architecture.md").read_text()
+        assert "`repro.sweep.dispatch`" in text
+        assert "sweeps-dispatch.md" in text
+
+    def test_cited_worker_module_runs(self):
+        """The doc quotes `python -m repro.sweep.worker`; keep it real."""
+        text = (DOCS / "sweeps-dispatch.md").read_text()
+        assert "repro.sweep.worker" in text
+        import repro.sweep.worker as worker
+
+        assert callable(worker.main)
 
 
 class TestKernelDocMatchesCode:
