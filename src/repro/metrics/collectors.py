@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -174,12 +175,30 @@ class Histogram:
         return sum(v * c for v, c in self._buckets.items()) / self.total
 
     def quantile(self, q: float) -> int:
-        """Smallest bucket value covering fraction ``q`` of observations."""
+        """Smallest bucket value covering fraction ``q`` of observations.
+
+        Boundary semantics: the result is the smallest bucket value ``v``
+        whose cumulative count reaches ``max(1, ceil(q * total))``
+        observations — so ``quantile(0.0)`` is the minimum observed value
+        (one observation, not zero, is required) and ``quantile(1.0)`` the
+        maximum.  The threshold is computed in exact integer arithmetic:
+        ``q`` is first snapped to the rational it was written as (0.9 is
+        stored as a binary float a hair *above* 9/10, so the naive
+        ``seen >= q * total`` comparison demands 100 of 110 observations
+        where 99 suffice), then ``ceil`` is taken over integers with no
+        float product anywhere.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile out of range: {q}")
         if self.total == 0:
             return 0
-        need = q * self.total
+        # Fraction(q).limit_denominator recovers the decimal/rational the
+        # caller wrote (9/10 from the float nearest 0.9); -(-a // b) is
+        # ceil(a / b) on exact integers.
+        frac = Fraction(q).limit_denominator(10**12)
+        need = -(-frac.numerator * self.total // frac.denominator)
+        if need < 1:
+            need = 1
         seen = 0
         for value, count in self.items():
             seen += count

@@ -1,0 +1,8 @@
+"""``python -m repro.report`` — see :mod:`repro.report.cli`."""
+
+import sys
+
+from repro.report.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,213 @@
+"""Dependency-free SVG charts for figure-style report sections.
+
+The paper's evaluation figures are small line plots (two series, one per
+protocol) and percentage histograms; this module draws both as
+self-contained SVG with nothing but the standard library.  Output is
+deterministic: tick positions come from a fixed nice-number routine and
+every coordinate is formatted with two decimals, so the same data always
+produces the same bytes — a requirement for the golden report fixtures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.report.model import Chart
+
+__all__ = ["render_chart_svg"]
+
+WIDTH = 640
+HEIGHT = 360
+MARGIN_L = 62
+MARGIN_R = 18
+MARGIN_T = 34
+MARGIN_B = 46
+
+#: Series colors, in assignment order (reliable first, semantic second in
+#: the paper figures).
+PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b")
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """~n axis ticks at 1/2/5×10^k steps covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(1, n)
+    mag = 10.0 ** math.floor(math.log10(raw))
+    for mult in (1.0, 2.0, 5.0, 10.0):
+        step = mult * mag
+        if span / step <= n:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + step * 1e-9:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+def _tick_label(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _bounds(
+    series: Sequence[Tuple[str, Sequence[Tuple[float, float]]]]
+) -> Tuple[float, float, float, float]:
+    xs = [x for _name, pts in series for x, _y in pts]
+    ys = [y for _name, pts in series for _x, y in pts]
+    if not xs:
+        return 0.0, 1.0, 0.0, 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(min(ys), 0.0), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    return x_lo, x_hi, y_lo, y_hi
+
+
+def render_chart_svg(chart: Chart) -> str:
+    """The chart as one self-contained ``<svg>`` document."""
+    series = [
+        (name, list(points)) for name, points in chart.series if points
+    ]
+    x_lo, x_hi, y_lo, y_hi = _bounds(series)
+    # Widen the y range to the tick grid so lines never clip the frame.
+    y_ticks = _nice_ticks(y_lo, y_hi)
+    if y_ticks:
+        y_lo = min(y_lo, y_ticks[0])
+        y_hi = max(y_hi, y_ticks[-1])
+    x_ticks = _nice_ticks(x_lo, x_hi)
+
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = HEIGHT - MARGIN_T - MARGIN_B
+
+    def sx(x: float) -> float:
+        return MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(y: float) -> float:
+        return MARGIN_T + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {WIDTH} '
+        f'{HEIGHT}" width="{WIDTH}" height="{HEIGHT}" role="img">'
+    )
+    parts.append(
+        '<style>text{font-family:Helvetica,Arial,sans-serif;font-size:12px;'
+        "fill:#333}.t{font-size:14px;font-weight:bold}.ax{stroke:#333;"
+        "stroke-width:1}.gr{stroke:#ddd;stroke-width:1}</style>"
+    )
+    parts.append(
+        f'<rect x="0" y="0" width="{WIDTH}" height="{HEIGHT}" fill="white"/>'
+    )
+    title = _escape(chart.title)
+    parts.append(
+        f'<text class="t" x="{WIDTH / 2:.2f}" y="20" '
+        f'text-anchor="middle">{title}</text>'
+    )
+    # Grid + ticks
+    for tx in x_ticks:
+        if not x_lo <= tx <= x_hi:
+            continue
+        px = _fmt(sx(tx))
+        parts.append(
+            f'<line class="gr" x1="{px}" y1="{MARGIN_T}" x2="{px}" '
+            f'y2="{MARGIN_T + plot_h}"/>'
+        )
+        parts.append(
+            f'<text x="{px}" y="{MARGIN_T + plot_h + 16}" '
+            f'text-anchor="middle">{_tick_label(tx)}</text>'
+        )
+    for ty in y_ticks:
+        if not y_lo <= ty <= y_hi:
+            continue
+        py = _fmt(sy(ty))
+        parts.append(
+            f'<line class="gr" x1="{MARGIN_L}" y1="{py}" '
+            f'x2="{MARGIN_L + plot_w}" y2="{py}"/>'
+        )
+        parts.append(
+            f'<text x="{MARGIN_L - 6}" y="{py}" text-anchor="end" '
+            f'dominant-baseline="middle">{_tick_label(ty)}</text>'
+        )
+    # Axes
+    parts.append(
+        f'<line class="ax" x1="{MARGIN_L}" y1="{MARGIN_T + plot_h}" '
+        f'x2="{MARGIN_L + plot_w}" y2="{MARGIN_T + plot_h}"/>'
+    )
+    parts.append(
+        f'<line class="ax" x1="{MARGIN_L}" y1="{MARGIN_T}" '
+        f'x2="{MARGIN_L}" y2="{MARGIN_T + plot_h}"/>'
+    )
+    if chart.x_label:
+        parts.append(
+            f'<text x="{MARGIN_L + plot_w / 2:.2f}" y="{HEIGHT - 8}" '
+            f'text-anchor="middle">{_escape(chart.x_label)}</text>'
+        )
+    if chart.y_label:
+        parts.append(
+            f'<text x="14" y="{MARGIN_T + plot_h / 2:.2f}" '
+            f'text-anchor="middle" transform="rotate(-90 14 '
+            f'{MARGIN_T + plot_h / 2:.2f})">{_escape(chart.y_label)}</text>'
+        )
+    # Data
+    if chart.kind == "bar" and series:
+        name, points = series[0]
+        color = PALETTE[0]
+        bar_w = max(2.0, plot_w / max(1, len(points)) * 0.7)
+        for x, y in points:
+            px = sx(x) - bar_w / 2
+            py = sy(y)
+            parts.append(
+                f'<rect x="{_fmt(px)}" y="{_fmt(py)}" width="{_fmt(bar_w)}" '
+                f'height="{_fmt(MARGIN_T + plot_h - py)}" fill="{color}" '
+                f'fill-opacity="0.85"/>'
+            )
+    else:
+        for i, (name, points) in enumerate(series):
+            color = PALETTE[i % len(PALETTE)]
+            pts = " ".join(
+                f"{_fmt(sx(x))},{_fmt(sy(y))}"
+                for x, y in sorted(points)
+            )
+            parts.append(
+                f'<polyline points="{pts}" fill="none" stroke="{color}" '
+                f'stroke-width="2"/>'
+            )
+            for x, y in points:
+                parts.append(
+                    f'<circle cx="{_fmt(sx(x))}" cy="{_fmt(sy(y))}" r="3" '
+                    f'fill="{color}"/>'
+                )
+    # Legend (line charts with named series)
+    if chart.kind != "bar":
+        lx = MARGIN_L + 10
+        ly = MARGIN_T + 8
+        for i, (name, _points) in enumerate(series):
+            color = PALETTE[i % len(PALETTE)]
+            y = ly + i * 18
+            parts.append(
+                f'<line x1="{lx}" y1="{y}" x2="{lx + 22}" y2="{y}" '
+                f'stroke="{color}" stroke-width="2"/>'
+            )
+            parts.append(
+                f'<text x="{lx + 28}" y="{y + 4}">{_escape(name)}</text>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

@@ -98,6 +98,7 @@ from repro.sweep.result import (
     MetricStats,
     SweepResult,
     summarise,
+    t_critical,
 )
 from repro.sweep.scenario import SCENARIO_CELL_KEYS, ScenarioSweep, scenario_cell
 
@@ -129,4 +130,5 @@ __all__ = [
     "canonical_params",
     "derive_seed",
     "summarise",
+    "t_critical",
 ]

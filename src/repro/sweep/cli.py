@@ -78,8 +78,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             snapshot = json.load(fh)
         baseline = snapshot.get("counters", snapshot)
         counters = stats["counters"]
+        # The delta-window rate divides delta hits by delta lookups
+        # (hits + misses accrued strictly after the snapshot) — never by
+        # the cumulative counters, which would dilute a warm pass with
+        # cold history.  A counter that moved *backwards* means the stats
+        # file was reset (cache cleared) after the snapshot; clamping at
+        # zero keeps the reported window sane instead of producing
+        # negative lookups or a rate above 100 %.
         delta = {
-            name: counters[name] - int(baseline.get(name, 0))
+            name: max(0, counters[name] - int(baseline.get(name, 0)))
             for name in ("hits", "misses", "stores", "corrupt", "runs")
         }
         lookups = delta["hits"] + delta["misses"]

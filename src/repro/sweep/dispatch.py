@@ -45,6 +45,7 @@ import selectors
 import shlex
 import subprocess
 import sys
+import tempfile
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -775,6 +776,16 @@ DISPATCH_STATS_FILE = "dispatch-stats.json"
 #: Most recent dispatch records kept per cache directory.
 _STATS_KEEP = 50
 
+#: Lockfile serializing the stats trail's read-modify-write.
+_STATS_LOCK_FILE = DISPATCH_STATS_FILE + ".lock"
+
+#: Bounded lock acquisition: retries × sleep bounds the wait at ~2 s, and
+#: a lock older than this many seconds is considered abandoned (a crashed
+#: writer) and broken.
+_LOCK_RETRIES = 200
+_LOCK_SLEEP_S = 0.01
+_LOCK_STALE_S = 10.0
+
 
 def load_dispatch_stats(path: Union[str, pathlib.Path]) -> Dict[str, Any]:
     """The ``dispatch-stats.json`` payload of a cache dir (empty if none)."""
@@ -790,18 +801,85 @@ def load_dispatch_stats(path: Union[str, pathlib.Path]) -> Dict[str, Any]:
     return payload
 
 
+class _StatsLock:
+    """``O_EXCL`` lockfile with bounded retry and stale-lock breaking.
+
+    ``os.replace`` makes each *write* of the trail atomic, but append is a
+    read-modify-write: two concurrent sweeps finishing into one cache dir
+    would each read the same trail and the second ``os.replace`` silently
+    drops the first's record.  Creating the lockfile with
+    ``O_CREAT | O_EXCL`` is atomic on POSIX and NFS alike; a holder that
+    died is detected by the lockfile's age and broken so a crashed sweep
+    can never wedge the trail.  If the lock cannot be acquired within the
+    retry budget the append proceeds unlocked — stats are best-effort and
+    must never deadlock a sweep.
+    """
+
+    def __init__(self, root: pathlib.Path) -> None:
+        self.path = root / _STATS_LOCK_FILE
+        self.acquired = False
+
+    def __enter__(self) -> "_StatsLock":
+        for _ in range(_LOCK_RETRIES):
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                try:
+                    age = time.time() - self.path.stat().st_mtime
+                except OSError:
+                    continue  # holder released between open and stat
+                if age > _LOCK_STALE_S:
+                    try:
+                        os.unlink(self.path)
+                    except OSError:
+                        pass
+                    continue
+                time.sleep(_LOCK_SLEEP_S)
+            except OSError:
+                return self  # unwritable dir: fall back to unlocked append
+            else:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(str(os.getpid()))
+                self.acquired = True
+                return self
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self.acquired:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+
 def record_dispatch(
     path: Union[str, pathlib.Path], entry: Mapping[str, Any]
 ) -> None:
-    """Append one dispatch record to the cache dir's stats trail (atomic)."""
+    """Append one dispatch record to the cache dir's stats trail.
+
+    The read-modify-write is serialized by an ``O_EXCL`` lockfile (see
+    :class:`_StatsLock`), so concurrent sweeps sharing a cache directory
+    append rather than overwrite each other; the trail is trimmed to the
+    last :data:`_STATS_KEEP` records *after* the merge, and the final
+    write is still an atomic ``os.replace``.
+    """
     root = pathlib.Path(path)
     root.mkdir(parents=True, exist_ok=True)
-    payload = load_dispatch_stats(root)
-    payload["schema"] = 1
-    payload["runs"] = (payload["runs"] + [dict(entry)])[-_STATS_KEEP:]
-    stats_path = root / DISPATCH_STATS_FILE
-    tmp = stats_path.with_suffix(".tmp")
-    tmp.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
-    os.replace(tmp, stats_path)
+    with _StatsLock(root):
+        payload = load_dispatch_stats(root)
+        payload["schema"] = 1
+        payload["runs"] = (payload["runs"] + [dict(entry)])[-_STATS_KEEP:]
+        stats_path = root / DISPATCH_STATS_FILE
+        fd, tmp = tempfile.mkstemp(dir=root, prefix=".dispatch-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            os.replace(tmp, stats_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

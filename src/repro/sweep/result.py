@@ -23,14 +23,57 @@ __all__ = [
     "SweepResult",
     "MetricStats",
     "summarise",
+    "t_critical",
 ]
 
 SCHEMA_VERSION = 1
 
+#: Two-sided 95 % Student-t critical values by degrees of freedom.  At the
+#: 3–5 replicates a sweep typically runs, the normal z=1.96 understates the
+#: interval badly (df=2 needs 4.303, more than double); scipy is not a
+#: dependency, so the standard table is inlined.  Entries above df=30 step
+#: down through the usual printed rows and converge on z at infinity.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+    40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+#: Large-sample limit (the normal z value the legacy ``ci95`` field uses).
+_Z_95 = 1.96
+
+
+def t_critical(df: int) -> float:
+    """Two-sided 95 % Student-t critical value for ``df`` degrees of freedom.
+
+    Exact table value for df ≤ 30; between tabulated rows (31–120) the
+    value of the *largest tabulated df not exceeding* the request is used —
+    rounding df down makes the interval conservative (never narrower than
+    the true t interval).  Beyond 120 the normal limit 1.96 applies.
+    """
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1: {df}")
+    if df in _T_95:
+        return _T_95[df]
+    if df > 120:
+        return _Z_95
+    return _T_95[max(d for d in _T_95 if d <= df)]
+
 
 @dataclass
 class MetricStats:
-    """Mean/CI summary of one metric across a cell's replicates."""
+    """Mean/CI summary of one metric across a cell's replicates.
+
+    ``ci95`` is the historical normal-approximation half-width (z=1.96
+    regardless of n) and is kept byte-identical for golden fixtures;
+    ``ci95_t`` is the corrected small-sample half-width using the
+    Student-t critical value at n-1 degrees of freedom — what reports
+    should quote at the 3–5 replicates sweeps typically run.
+    """
 
     mean: float
     std: float
@@ -38,21 +81,26 @@ class MetricStats:
     n: int
     min: float
     max: float
+    ci95_t: float = 0.0
 
 
 def summarise(values: List[float]) -> MetricStats:
-    """Sample statistics with a normal-approximation 95 % interval."""
+    """Sample statistics with normal- and t-based 95 % intervals."""
     n = len(values)
     mean = sum(values) / n
     if n > 1:
         variance = sum((v - mean) ** 2 for v in values) / (n - 1)
         std = math.sqrt(variance)
-        ci95 = 1.96 * std / math.sqrt(n)
+        sem = std / math.sqrt(n)
+        ci95 = _Z_95 * sem
+        ci95_t = t_critical(n - 1) * sem
     else:
         std = 0.0
         ci95 = 0.0
+        ci95_t = 0.0
     return MetricStats(
-        mean=mean, std=std, ci95=ci95, n=n, min=min(values), max=max(values)
+        mean=mean, std=std, ci95=ci95, n=n, min=min(values), max=max(values),
+        ci95_t=ci95_t,
     )
 
 

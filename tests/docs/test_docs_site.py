@@ -48,6 +48,7 @@ class TestMkdocsConfig:
         assert "transport.md" in files
         assert "sweeps-cache.md" in files
         assert "sweeps-dispatch.md" in files
+        assert "reports.md" in files
 
 
 class TestInternalLinks:
@@ -302,6 +303,79 @@ class TestSweepDispatchDocMatchesCode:
         import repro.sweep.worker as worker
 
         assert callable(worker.main)
+
+
+class TestReportDocMatchesCode:
+    def test_cli_subcommands_documented_and_real(self):
+        import pytest
+
+        from repro.report import cli
+
+        text = (DOCS / "reports.md").read_text()
+        for sub in ("render", "watch"):
+            assert f"repro.report {sub}" in text
+            with pytest.raises(SystemExit) as exc:
+                cli.main([sub, "--help"])
+            assert exc.value.code == 0, f"cli has no {sub} subcommand"
+        for flag in ("--out", "--title", "--cache-dir", "--once", "--frames"):
+            assert flag in text, f"docs/reports.md misses CLI flag {flag}"
+
+    def test_determinism_contract_documented_and_enforced(self):
+        """The page's central claim — markdown deterministic, HTML
+        complete — must match what the builder actually does."""
+        from repro.report import ReportBuilder, StatsSection
+
+        text = (DOCS / "reports.md").read_text()
+        assert "volatile" in text
+        assert "byte-identical" in text
+        # Stats sections can never leak into the markdown.
+        assert StatsSection(heading="s", pairs=[("k", "v")]).volatile is True
+        builder = ReportBuilder("t")
+        builder.add_stats("cache", [("hits", "3")])
+        assert "cache" not in builder.to_markdown()
+        assert "cache" in builder.to_html()
+
+    def test_t_table_anchor_values_quoted_correctly(self):
+        """reports.md quotes t(df=2)=4.303 and the df=120 z hand-off;
+        keep the prose honest against the table."""
+        from repro.sweep import t_critical
+
+        text = (DOCS / "reports.md").read_text()
+        assert "4.303" in text and t_critical(2) == 4.303
+        assert "df=120" in text and t_critical(121) == 1.96
+
+    def test_payload_kinds_documented_and_real(self):
+        from repro.report import classify_payload
+
+        text = (DOCS / "reports.md").read_text()
+        assert classify_payload({"cells": [], "axes": []}) == "sweep"
+        assert classify_payload({"histories": {}, "metrics": {}}) == "scenario"
+        for kind in ("sweep", "scenario"):
+            assert kind in text
+
+    def test_stats_trail_retention_documented(self):
+        from repro.sweep import dispatch
+
+        text = (DOCS / "reports.md").read_text()
+        assert dispatch._STATS_KEEP == 50
+        assert "last 50" in text
+
+    def test_golden_fixture_cited_and_exists(self):
+        text = (DOCS / "reports.md").read_text()
+        assert "tests/report/golden_report.md" in text
+        assert (REPO / "tests" / "report" / "golden_report.md").is_file()
+        assert "tests/fixtures/golden_figure_4a.json" in text
+        assert (REPO / "tests" / "fixtures" / "golden_figure_4a.json").is_file()
+
+    def test_architecture_map_cites_reports(self):
+        text = (DOCS / "architecture.md").read_text()
+        assert "`repro.report`" in text
+        assert "reports.md" in text
+
+    def test_readme_shows_report_flag(self):
+        readme = (REPO / "README.md").read_text()
+        assert "--report" in readme
+        assert "docs/reports.md" in readme
 
 
 class TestKernelDocMatchesCode:

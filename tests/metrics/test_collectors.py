@@ -159,3 +159,64 @@ class TestSummarize:
     def test_single_value(self):
         s = summarize([5.0])
         assert s.stdev == 0.0
+
+
+class TestQuantileBoundarySemantics:
+    """Regression: float `seen >= q * total` skipped buckets.
+
+    0.9 is stored as a binary float a hair above 9/10, so with 110
+    observations the old comparison demanded 100 of them where
+    ceil(0.9 * 110) = 99 suffice — returning the *next* bucket.  The fix
+    snaps q to its intended rational and takes an exact integer ceil.
+    """
+
+    def uniform(self, n):
+        h = Histogram()
+        for v in range(1, n + 1):
+            h.observe(v)
+        return h
+
+    def test_p90_of_110_is_the_99th_value_not_the_100th(self):
+        h = self.uniform(110)
+        # Old float comparison: 0.9 * 110 == 99.00000000000001 → skipped
+        # bucket 99 and returned 100.
+        assert h.quantile(0.9) == 99
+
+    def test_known_float_trap_cases(self):
+        # Every (q, n) pair here has q*n landing just above the integer.
+        for q, n, expected in [
+            (0.9, 110, 99),
+            (0.7, 10, 7),
+            (0.07, 100, 7),
+            (0.29, 100, 29),
+        ]:
+            assert self.uniform(n).quantile(q) == expected, (q, n)
+
+    def test_exact_integer_thresholds_against_fraction_reference(self):
+        from fractions import Fraction
+
+        for n in (1, 3, 7, 10, 110, 333):
+            h = self.uniform(n)
+            for num in range(0, 101):
+                q = num / 100.0
+                need = -(-Fraction(num, 100).numerator * n
+                         // Fraction(num, 100).denominator)
+                expected = max(1, need)
+                assert h.quantile(q) == min(expected, n), (q, n)
+
+    def test_boundaries_are_min_and_max_observed(self):
+        h = Histogram()
+        h.observe(7, count=3)
+        h.observe(12, count=2)
+        assert h.quantile(0.0) == 7
+        assert h.quantile(1.0) == 12
+
+    def test_weighted_buckets(self):
+        h = Histogram()
+        h.observe(1, count=90)
+        h.observe(2, count=10)
+        assert h.quantile(0.9) == 1  # the 90th observation is still a 1
+        assert h.quantile(0.91) == 2
+
+    def test_empty_still_returns_zero(self):
+        assert Histogram().quantile(0.5) == 0

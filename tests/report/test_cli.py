@@ -1,0 +1,92 @@
+"""``repro-report`` CLI: render artefacts, watch a cache dir."""
+
+import json
+
+import pytest
+
+from repro.report.cli import main
+from repro.sweep import Sweep, run_sweep
+from repro.sweep.cells import arithmetic_cell
+
+
+@pytest.fixture()
+def sweep_dump(tmp_path):
+    sweep = Sweep(base={"k": 7}, seeds=2).axis("x", [1, 2]).run(
+        arithmetic_cell
+    )
+    path = tmp_path / "sweep.json"
+    path.write_text(sweep.to_json())
+    return path
+
+
+class TestRender:
+    def test_renders_sweep_dump(self, tmp_path, sweep_dump, capsys):
+        out = tmp_path / "out"
+        assert main(["render", str(sweep_dump), "--out", str(out)]) == 0
+        md = (out / "report.md").read_text(encoding="utf-8")
+        assert "value (±95% t)" in md
+        assert (out / "report.html").exists()
+        stdout = capsys.readouterr().out
+        assert "report.md" in stdout and "report.html" in stdout
+
+    def test_renders_generic_json(self, tmp_path, capsys):
+        artefact = tmp_path / "bench.json"
+        artefact.write_text(json.dumps({"throughput": 42.5}))
+        out = tmp_path / "out"
+        assert main(["render", str(artefact), "--out", str(out)]) == 0
+        md = (out / "report.md").read_text(encoding="utf-8")
+        assert "throughput" in md and "42.5" in md
+
+    def test_title_and_basename(self, tmp_path, sweep_dump, capsys):
+        out = tmp_path / "out"
+        assert (
+            main(
+                ["render", str(sweep_dump), "--out", str(out),
+                 "--title", "My figures", "--basename", "figures"]
+            )
+            == 0
+        )
+        md = (out / "figures.md").read_text(encoding="utf-8")
+        assert md.startswith("# My figures")
+
+    def test_unreadable_file_fails_but_still_writes(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        assert (
+            main(["render", str(tmp_path / "nope.json"), "--out", str(out)])
+            == 1
+        )
+        assert (out / "report.md").exists()
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_cache_dir_sections_html_only(self, tmp_path, sweep_dump, capsys):
+        cache_dir = tmp_path / "cache"
+        run_sweep(
+            Sweep(base={"k": 1}, seeds=1).axis("x", [1]),
+            arithmetic_cell,
+            cache=str(cache_dir),
+        )
+        out = tmp_path / "out"
+        assert (
+            main(
+                ["render", str(sweep_dump), "--out", str(out),
+                 "--cache-dir", str(cache_dir)]
+            )
+            == 0
+        )
+        assert "Sweep cache" not in (out / "report.md").read_text()
+        assert "Sweep cache" in (out / "report.html").read_text()
+
+
+class TestWatch:
+    def test_once_prints_single_frame(self, tmp_path, capsys):
+        assert main(["watch", str(tmp_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("repro-report watch") == 1
+
+    def test_frames_flag(self, tmp_path, capsys):
+        assert (
+            main(["watch", str(tmp_path), "--frames", "2",
+                  "--interval", "0.01"])
+            == 0
+        )
+        assert capsys.readouterr().out.count("repro-report watch") == 2

@@ -1,0 +1,131 @@
+"""Report document model: formatting, builder, volatility contract."""
+
+import math
+
+import pytest
+
+from repro.report import (
+    Chart,
+    ChartSection,
+    ReportBuilder,
+    StatsSection,
+    TableSection,
+    TextSection,
+    ViolationsSection,
+    fmt_value,
+    slugify,
+)
+
+
+class TestFmtValue:
+    def test_bools_read_as_words(self):
+        assert fmt_value(True) == "yes"
+        assert fmt_value(False) == "no"
+
+    def test_integral_floats_collapse(self):
+        assert fmt_value(3.0) == "3"
+        assert fmt_value(-2.0) == "-2"
+
+    def test_floats_use_6_significant_digits(self):
+        assert fmt_value(97.28123456) == "97.2812"
+        assert fmt_value(0.000123456789) == "0.000123457"
+
+    def test_nan_is_spelled_out(self):
+        assert fmt_value(math.nan) == "nan"
+
+    def test_strings_and_ints_pass_through(self):
+        assert fmt_value("semantic") == "semantic"
+        assert fmt_value(42) == "42"
+
+
+class TestSlugify:
+    def test_figure_heading(self):
+        assert (
+            slugify("Figure 4(a) — producer idle % (buffer=15)")
+            == "figure-4-a-producer-idle-buffer-15"
+        )
+
+    def test_empty_falls_back(self):
+        assert slugify("···") == "section"
+
+    def test_deterministic(self):
+        assert slugify("A b C") == slugify("A b C") == "a-b-c"
+
+
+class TestReportBuilder:
+    def test_sections_accumulate_in_order(self):
+        builder = (
+            ReportBuilder("T")
+            .add_text("one", "body")
+            .add_table("two", ["a"], [[1]])
+            .add_violations("three", [])
+        )
+        kinds = [type(s) for s in builder.sections]
+        assert kinds == [TextSection, TableSection, ViolationsSection]
+
+    def test_table_cells_are_preformatted_strings(self):
+        builder = ReportBuilder("T").add_table(
+            "t", ["a", "b"], [[True, 2.5], [1, math.nan]]
+        )
+        table = builder.sections[0]
+        assert table.rows == [["yes", "2.5"], ["1", "nan"]]
+
+    def test_stats_sections_are_always_volatile(self):
+        section = StatsSection(heading="s", volatile=False)
+        assert section.volatile is True
+        builder = ReportBuilder("T").add_stats("s", [("hits", 3)])
+        assert builder.sections[0].volatile is True
+        assert builder.sections[0].pairs == [("hits", "3")]
+
+    def test_deterministic_sections_default_non_volatile(self):
+        builder = (
+            ReportBuilder("T")
+            .add_text("t", "x")
+            .add_table("u", ["a"], [[1]])
+            .add_chart("v", Chart(title="v", series=[("s", [(0.0, 1.0)])]))
+            .add_violations("w", None)
+        )
+        assert all(not s.volatile for s in builder.sections)
+
+    def test_violations_none_means_unchecked(self):
+        builder = ReportBuilder("T").add_violations("v", None)
+        assert builder.sections[0].checked is False
+        builder = ReportBuilder("T").add_violations("v", [])
+        assert builder.sections[0].checked is True
+
+
+class TestGoldenDelta:
+    HEADER = ("rate", "reliable", "semantic")
+    GOLDEN = [[80, 97.28, 99.9], [40, 82.69, 98.17]]
+
+    def test_identical_rows_report_match(self):
+        builder = ReportBuilder("T").add_golden_delta(
+            "d", self.HEADER, self.GOLDEN, [(80, 97.28, 99.9), (40, 82.69, 98.17)]
+        )
+        section = builder.sections[0]
+        assert "matches the golden fixture exactly" in section.notes
+        assert all(row[-1] == "=" for row in section.rows)
+
+    def test_drifted_rows_report_delta(self):
+        measured = [(80, 97.28, 99.9), (40, 83.69, 98.17)]
+        builder = ReportBuilder("T").add_golden_delta(
+            "d", self.HEADER, self.GOLDEN, measured
+        )
+        section = builder.sections[0]
+        assert "DIFFERS" in section.notes
+        assert "=" == section.rows[0][-1]
+        assert "reliable" in section.rows[1][-1]
+        assert "Δ=1" in section.rows[1][-1]
+
+    def test_missing_and_extra_rows_are_flagged(self):
+        builder = ReportBuilder("T").add_golden_delta(
+            "d", self.HEADER, self.GOLDEN, [(80, 97.28, 99.9)]
+        )
+        assert "DIFFERS" in builder.sections[0].notes
+        builder = ReportBuilder("T").add_golden_delta(
+            "d",
+            self.HEADER,
+            self.GOLDEN,
+            self.GOLDEN + [[20, 46.6, 89.04]],
+        )
+        assert "DIFFERS" in builder.sections[0].notes

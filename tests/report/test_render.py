@@ -1,0 +1,143 @@
+"""Renderers: deterministic markdown, complete HTML, chart SVG bytes."""
+
+import pathlib
+
+from repro.report import (
+    Chart,
+    ReportBuilder,
+    render_chart_svg,
+    render_html,
+    render_markdown,
+    write_report,
+)
+
+
+def sample_report() -> ReportBuilder:
+    return (
+        ReportBuilder("Title", subtitle="Sub")
+        .add_table("Table", ["x", "value"], [[1, 2.5], [2, 3.5]])
+        .add_chart(
+            "Chart",
+            Chart(
+                title="Chart",
+                series=[("s", [(1.0, 2.5), (2.0, 3.5)])],
+                x_label="x",
+                y_label="v",
+            ),
+        )
+        .add_violations("Spec", [])
+        .add_stats("Cache counters", [("hits", 3), ("misses", 1)])
+    )
+
+
+class TestMarkdown:
+    def test_structure(self):
+        md = render_markdown(sample_report())
+        assert md.startswith("# Title\n\nSub\n")
+        assert "## Table" in md
+        assert "| x | value |" in md
+        assert "| 1 | 2.5 |" in md
+        assert "![Chart](charts/chart.svg)" in md
+        assert "No violations" in md
+
+    def test_volatile_sections_are_skipped(self):
+        md = render_markdown(sample_report())
+        assert "Cache counters" not in md
+        assert "hits" not in md
+
+    def test_pipe_characters_are_escaped(self):
+        md = render_markdown(
+            ReportBuilder("T").add_table("t", ["a"], [["x|y"]])
+        )
+        assert "x\\|y" in md
+
+    def test_violations_render_as_bullets(self):
+        md = render_markdown(
+            ReportBuilder("T").add_violations("v", ["agreement: p1 != p2"])
+        )
+        assert "1 violation(s)" in md
+        assert "- `agreement: p1 != p2`" in md
+
+    def test_unchecked_violations_say_so(self):
+        md = render_markdown(ReportBuilder("T").add_violations("v", None))
+        assert "Property checking was disabled" in md
+
+    def test_byte_deterministic(self):
+        assert render_markdown(sample_report()) == render_markdown(
+            sample_report()
+        )
+
+
+class TestHtml:
+    def test_self_contained_with_volatile_sections(self):
+        html = render_html(sample_report())
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<style>" in html
+        assert '<section class="volatile">' in html
+        assert "Cache counters" in html
+        assert "<dt>hits</dt><dd>3</dd>" in html
+        assert "<svg" in html  # chart inlined, not referenced
+
+    def test_escapes_user_text(self):
+        html = render_html(
+            ReportBuilder("<T>").add_text("h", "a < b & c")
+        )
+        assert "&lt;T&gt;" in html
+        assert "a &lt; b &amp; c" in html
+
+
+class TestChartSvg:
+    def chart(self):
+        return Chart(
+            title="t",
+            series=[
+                ("reliable", [(20.0, 46.6), (80.0, 97.28)]),
+                ("semantic", [(20.0, 89.04), (80.0, 99.9)]),
+            ],
+            x_label="rate",
+            y_label="idle %",
+        )
+
+    def test_deterministic_bytes(self):
+        assert render_chart_svg(self.chart()) == render_chart_svg(self.chart())
+
+    def test_contains_series_and_labels(self):
+        svg = render_chart_svg(self.chart())
+        assert svg.count("<polyline") == 2
+        assert "reliable" in svg and "semantic" in svg
+        assert "rate" in svg and "idle %" in svg
+
+    def test_bar_kind_draws_rects(self):
+        chart = Chart(
+            title="t",
+            series=[("s", [(1.0, 10.0), (2.0, 20.0)])],
+            kind="bar",
+        )
+        svg = render_chart_svg(chart)
+        assert "<rect" in svg and "<polyline" not in svg
+
+    def test_escapes_markup_in_titles(self):
+        chart = Chart(title="a<b&c", series=[("s", [(0.0, 1.0)])])
+        svg = render_chart_svg(chart)
+        assert "a&lt;b&amp;c" in svg
+
+
+class TestWriteReport:
+    def test_writes_markdown_html_and_charts(self, tmp_path):
+        written = write_report(sample_report(), tmp_path)
+        md = pathlib.Path(written["markdown"])
+        html = pathlib.Path(written["html"])
+        assert md.name == "report.md" and md.exists()
+        assert html.name == "report.html" and html.exists()
+        (chart,) = written["charts"]
+        assert pathlib.Path(chart) == tmp_path / "charts" / "chart.svg"
+        # The markdown's relative chart link resolves inside the out dir.
+        assert "![Chart](charts/chart.svg)" in md.read_text(encoding="utf-8")
+
+    def test_no_charts_no_chart_dir(self, tmp_path):
+        write_report(ReportBuilder("T").add_text("h", "b"), tmp_path)
+        assert not (tmp_path / "charts").exists()
+
+    def test_custom_basename(self, tmp_path):
+        written = write_report(sample_report(), tmp_path, basename="figures")
+        assert pathlib.Path(written["markdown"]).name == "figures.md"

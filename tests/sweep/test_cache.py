@@ -418,6 +418,54 @@ class TestCli:
         assert code == 0
         assert "100.0%" in capsys.readouterr().out
 
+    def test_stats_since_mid_history_uses_delta_window_denominator(
+        self, tmp_path, capsys
+    ):
+        """Regression pin: the --since hit rate divides delta hits by
+        *delta-window lookups* (hits + misses after the snapshot), never
+        by the cumulative lookup count.  The snapshot is taken mid-history
+        — after a cold+warm pair — so a cumulative denominator would
+        dilute the asserted window with the 12 cold-era lookups before
+        it.  (Each run is 3 cells x 2 replicates = 6 lookups.)"""
+        cache_dir = str(tmp_path / "cache")
+        # History before the snapshot: cold (6 misses) + warm (6 hits).
+        make_sweep().run(square_cell, cache=make_cache(tmp_path))
+        make_sweep().run(square_cell, cache=make_cache(tmp_path))
+        self.run_cli("stats", cache_dir, "--json")
+        snapshot_payload = json.loads(capsys.readouterr().out)
+        snapshot = tmp_path / "snap.json"
+        snapshot.write_text(json.dumps(snapshot_payload))
+        assert snapshot_payload["counters"] == {
+            "hits": 6, "misses": 6, "stores": 6, "corrupt": 0, "runs": 2,
+        }
+        # Window after the snapshot: 6 hits (x in 1..3) + 4 misses (4, 5).
+        make_sweep(values=(1, 2, 3, 4, 5)).run(
+            square_cell, cache=make_cache(tmp_path)
+        )
+        self.run_cli("stats", cache_dir, "--since", str(snapshot), "--json")
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["since"] == {
+            "hits": 6, "misses": 4, "stores": 4, "corrupt": 0, "runs": 1,
+        }
+        # 6/10, not 12/22: the cold history must not dilute it.
+        assert stats["since_hit_rate"] == pytest.approx(0.6)
+        assert stats["hit_rate"] == pytest.approx(12 / 22)
+
+    def test_stats_since_clamps_counter_resets(self, tmp_path, capsys):
+        """A stats file reset (cache cleared) after the snapshot must not
+        produce negative deltas or a rate above 100%."""
+        cache_dir = str(tmp_path / "cache")
+        make_sweep().run(square_cell, cache=make_cache(tmp_path))
+        snapshot = tmp_path / "snap.json"
+        snapshot.write_text(json.dumps({"counters": {
+            "hits": 100, "misses": 100, "stores": 100, "corrupt": 0,
+            "runs": 9,
+        }}))
+        self.run_cli("stats", cache_dir, "--since", str(snapshot), "--json")
+        stats = json.loads(capsys.readouterr().out)
+        assert all(v >= 0 for v in stats["since"].values())
+        assert stats["since_hit_rate"] is None
+
     def test_gc_subcommand(self, tmp_path, capsys):
         sweep = make_sweep(seeds=1)
         sweep.run(square_cell, cache=make_cache(tmp_path, fingerprint="old"))

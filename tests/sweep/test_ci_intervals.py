@@ -1,0 +1,99 @@
+"""Student-t confidence intervals: the z-for-all-n bugfix.
+
+``ci95`` historically used z=1.96 regardless of sample size — at the 3–5
+replicates sweeps actually run, that understates the 95 % interval by up
+to 2×.  The fix keeps ``ci95`` byte-identical (golden fixtures pin it)
+and adds ``ci95_t`` with the Student-t critical value at n-1 degrees of
+freedom; reports quote the t interval.
+"""
+
+import math
+
+import pytest
+
+from repro.sweep import Sweep, t_critical
+from repro.sweep.cells import arithmetic_cell
+from repro.sweep.result import MetricStats, SweepResult, summarise
+
+
+class TestTCritical:
+    def test_exact_table_values(self):
+        assert t_critical(1) == 12.706
+        assert t_critical(2) == 4.303
+        assert t_critical(4) == 2.776
+        assert t_critical(9) == 2.262
+        assert t_critical(30) == 2.042
+        assert t_critical(120) == 1.980
+
+    def test_between_rows_rounds_df_down(self):
+        # 31..39 use the df=30 row, 45 the df=40 row — conservative
+        # (never narrower than the true t interval).
+        assert t_critical(31) == t_critical(39) == 2.042
+        assert t_critical(45) == 2.021
+        assert t_critical(100) == 2.000
+
+    def test_large_samples_converge_to_z(self):
+        assert t_critical(121) == 1.96
+        assert t_critical(10**6) == 1.96
+
+    def test_strictly_decreasing_toward_z(self):
+        values = [t_critical(df) for df in range(1, 31)]
+        assert values == sorted(values, reverse=True)
+        assert all(v > 1.96 for v in values)
+
+    def test_invalid_df_rejected(self):
+        with pytest.raises(ValueError):
+            t_critical(0)
+        with pytest.raises(ValueError):
+            t_critical(-3)
+
+
+class TestSummarise:
+    def test_legacy_ci95_is_unchanged(self):
+        # The exact expression the golden fixtures were generated with.
+        stats = summarise([1.0, 2.0, 3.0])
+        assert stats.ci95 == pytest.approx(1.96 / 3**0.5)
+
+    def test_ci95_t_uses_n_minus_1_dof(self):
+        stats = summarise([1.0, 2.0, 3.0])
+        sem = stats.std / math.sqrt(3)
+        assert stats.ci95_t == pytest.approx(t_critical(2) * sem)
+        # At n=3 the z interval understates by the 4.303/1.96 ratio.
+        assert stats.ci95_t / stats.ci95 == pytest.approx(4.303 / 1.96)
+
+    def test_single_sample_has_no_interval(self):
+        stats = summarise([5.0])
+        assert stats.ci95 == 0.0 and stats.ci95_t == 0.0 and stats.std == 0.0
+
+    def test_large_n_intervals_converge(self):
+        values = [float(i % 7) for i in range(200)]
+        stats = summarise(values)
+        assert stats.ci95_t == pytest.approx(stats.ci95, rel=0.011)
+        assert stats.ci95_t >= stats.ci95
+
+
+class TestRoundTrip:
+    def test_to_dict_carries_both_intervals(self):
+        sweep = Sweep(base={"k": 7}, seeds=3).axis("x", [1]).run(
+            arithmetic_cell
+        )
+        stats = sweep.to_dict()["cells"][0]["stats"]["value"]
+        assert set(stats) >= {"mean", "std", "ci95", "ci95_t", "n"}
+        assert stats["ci95_t"] / stats["ci95"] == pytest.approx(4.303 / 1.96)
+
+    def test_from_dict_recomputes_stats_for_old_payloads(self):
+        """Pre-fix archives (no ci95_t anywhere) still load, and their
+        recomputed stats gain the t interval."""
+        sweep = Sweep(base={"k": 7}, seeds=2).axis("x", [1]).run(
+            arithmetic_cell
+        )
+        data = sweep.to_dict()
+        for raw in data["cells"]:
+            for stats in raw["stats"].values():
+                stats.pop("ci95_t")
+        restored = SweepResult.from_dict(data)
+        assert restored.cells[0].stats("value").ci95_t > 0.0
+
+    def test_metric_stats_default_keeps_old_constructors_working(self):
+        stats = MetricStats(mean=1.0, std=0.0, ci95=0.0, n=1, min=1.0, max=1.0)
+        assert stats.ci95_t == 0.0
